@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Extension: ablation of the two FVC policy choices DESIGN.md
+ * calls out — skipping barren insertions (lines with no frequent
+ * content) and frequent-value write allocation (Section 3's
+ * "second situation").
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace fvc;
+
+    harness::banner("Extension: policy ablation",
+                    "FVC transfer-policy ablations "
+                    "(16Kb DMC, 512-entry top-7 FVC)");
+    harness::note("columns are % miss-rate reduction vs the bare "
+                  "DMC under each policy combination");
+
+    const uint64_t accesses = harness::defaultTraceAccesses();
+
+    cache::CacheConfig dmc;
+    dmc.size_bytes = 16 * 1024;
+    dmc.line_bytes = 32;
+    core::FvcConfig fvc;
+    fvc.entries = 512;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+
+    struct Variant
+    {
+        const char *name;
+        bool skip_barren;
+        bool write_allocate;
+    };
+    const Variant variants[] = {
+        {"paper (skip+walloc)", true, true},
+        {"no write-allocate", true, false},
+        {"insert barren lines", false, true},
+        {"neither", false, false},
+    };
+
+    std::vector<std::string> headers = {"benchmark", "DMC miss %"};
+    for (const auto &v : variants)
+        headers.push_back(v.name);
+    util::Table table(headers);
+    for (size_t c = 1; c < headers.size(); ++c)
+        table.alignRight(c);
+
+    for (auto bench : workload::fvSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        auto trace = harness::prepareTrace(profile, accesses, 85);
+        double base = harness::dmcMissRate(trace, dmc);
+
+        std::vector<std::string> row = {trace.name,
+                                        util::fixedStr(base, 3)};
+        for (const auto &variant : variants) {
+            core::DmcFvcPolicy policy;
+            policy.skip_barren_insertions = variant.skip_barren;
+            policy.write_allocate_frequent =
+                variant.write_allocate;
+            core::DmcFvcSystem sys(
+                dmc, fvc,
+                core::FrequentValueEncoding(trace.frequent_values,
+                                            3),
+                policy);
+            harness::replay(trace, sys);
+            row.push_back(util::fixedStr(
+                100.0 *
+                    (base - sys.stats().missRatePercent()) /
+                    (base > 0.0 ? base : 1.0),
+                1));
+        }
+        table.addRow(row);
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

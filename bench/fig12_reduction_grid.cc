@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 12: percentage reduction in miss rate for a 512-entry FVC
+ * exploiting the top 1, 3, or 7 frequently accessed values, across
+ * the 12 DMC configurations whose access time is not faster than
+ * the FVC's.
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "timing/access_time.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int
+main()
+{
+    using namespace fvc;
+
+    harness::banner("Figure 12",
+                    "% reduction in miss rate: DMC vs DMC + "
+                    "512-entry FVC (top 1 vs 3 vs 7 values)");
+    harness::note("paper: reductions range 1-68%; 1->3 values is a "
+                  "big step, 3->7 a smaller one");
+
+    const uint64_t accesses = harness::defaultTraceAccesses();
+
+    // The 12 DMC configurations: sizes x line sizes whose access
+    // time >= the 512-entry FVC's (cf. Figure 9).
+    struct Config
+    {
+        uint32_t kb;
+        uint32_t line;
+    };
+    std::vector<Config> configs;
+    for (uint32_t kb : {8u, 16u, 32u, 64u}) {
+        for (uint32_t line : {16u, 32u, 64u}) {
+            configs.push_back({kb, line});
+        }
+    }
+
+    for (auto bench : workload::fvSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        auto trace = harness::prepareTrace(profile, accesses, 72);
+
+        harness::section(trace.name);
+        util::Table table({"DMC", "miss %", "1 value %",
+                           "3 values %", "7 values %"});
+        for (size_t c = 1; c <= 4; ++c)
+            table.alignRight(c);
+
+        for (const auto &config : configs) {
+            cache::CacheConfig dmc;
+            dmc.size_bytes = config.kb * 1024;
+            dmc.line_bytes = config.line;
+            double base = harness::dmcMissRate(trace, dmc);
+
+            std::vector<std::string> row = {
+                util::sizeStr(dmc.size_bytes) + "/" +
+                    std::to_string(config.line) + "B",
+                util::fixedStr(base, 3)};
+            for (unsigned bits : {1u, 2u, 3u}) {
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = config.line;
+                fvc.code_bits = bits;
+                auto sys = harness::runDmcFvc(trace, dmc, fvc);
+                row.push_back(util::fixedStr(
+                    100.0 *
+                        (base - sys->stats().missRatePercent()) /
+                        (base > 0.0 ? base : 1.0),
+                    1));
+            }
+            table.addRow(row);
+        }
+        std::printf("%s", table.render().c_str());
+    }
+    return 0;
+}

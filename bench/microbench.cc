@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Library microbenchmarks (google-benchmark): throughput of the
+ * hot paths — workload generation, cache simulation, FVC probe,
+ * encoding, and profiling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/cache_system.hh"
+#include "core/dmc_fvc_system.hh"
+#include "harness/runner.hh"
+#include "profiling/value_table.hh"
+#include "workload/generator.hh"
+
+namespace {
+
+using namespace fvc;
+
+const harness::PreparedTrace &
+gccTrace()
+{
+    static const harness::PreparedTrace trace = harness::prepareTrace(
+        workload::specIntProfile(workload::SpecInt::Gcc126), 200000,
+        81);
+    return trace;
+}
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    auto profile = workload::specIntProfile(workload::SpecInt::Gcc126);
+    for (auto _ : state) {
+        workload::SyntheticWorkload gen(profile, 50000, 3);
+        trace::MemRecord rec;
+        uint64_t n = 0;
+        while (gen.next(rec))
+            ++n;
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetItemsProcessed(state.iterations() * 50000);
+}
+BENCHMARK(BM_WorkloadGeneration)->Unit(benchmark::kMillisecond);
+
+void
+BM_DmcSimulation(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    for (auto _ : state) {
+        cache::CacheConfig cfg;
+        cfg.size_bytes = 16 * 1024;
+        cfg.line_bytes = 32;
+        cache::DmcSystem sys(cfg);
+        harness::replay(trace, sys);
+        benchmark::DoNotOptimize(sys.stats().misses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.records.size());
+}
+BENCHMARK(BM_DmcSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_DmcFvcSimulation(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    for (auto _ : state) {
+        cache::CacheConfig cfg;
+        cfg.size_bytes = 16 * 1024;
+        cfg.line_bytes = 32;
+        core::FvcConfig fvc;
+        fvc.entries = 512;
+        fvc.line_bytes = 32;
+        fvc.code_bits = 3;
+        auto sys = harness::runDmcFvc(trace, cfg, fvc);
+        benchmark::DoNotOptimize(sys->stats().misses());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.records.size());
+}
+BENCHMARK(BM_DmcFvcSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_FvcProbe(benchmark::State &state)
+{
+    core::FvcConfig cfg;
+    cfg.entries = 512;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    core::FrequentValueCache fvc(
+        cfg, core::FrequentValueEncoding(
+                 {0, 0xffffffffu, 1, 2, 4, 8, 10}, 3));
+    std::vector<trace::Word> line = {0, 1, 2, 4, 8, 10, 0, 1};
+    for (uint32_t i = 0; i < 512; ++i)
+        fvc.insertLine(i * 32, line, false);
+    uint32_t addr = 0;
+    for (auto _ : state) {
+        auto v = fvc.readWord(addr);
+        benchmark::DoNotOptimize(v);
+        addr = (addr + 36) % (512 * 32);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FvcProbe);
+
+void
+BM_Encoding(benchmark::State &state)
+{
+    core::FrequentValueEncoding enc(
+        {0, 0xffffffffu, 1, 2, 4, 8, 10}, 3);
+    uint32_t v = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(enc.encode(v));
+        v = v * 1664525 + 1013904223;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Encoding);
+
+void
+BM_ValueCounting(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    for (auto _ : state) {
+        profiling::ValueCounterTable table;
+        for (const auto &rec : trace.records) {
+            if (rec.isAccess())
+                table.add(rec.value);
+        }
+        benchmark::DoNotOptimize(table.topK(10));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.records.size());
+}
+BENCHMARK(BM_ValueCounting)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 2: input sensitivity of the frequently accessed values.
+ * X/Y means X of the top-Y values on the test/train inputs also
+ * appear in the top-Y values on the reference input.
+ */
+
+#include <cstdio>
+
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "util/table.hh"
+
+namespace {
+
+size_t
+overlap(const std::vector<fvc::trace::Word> &a,
+        const std::vector<fvc::trace::Word> &b, size_t k)
+{
+    size_t n = 0;
+    for (size_t i = 0; i < k && i < a.size(); ++i) {
+        for (size_t j = 0; j < k && j < b.size(); ++j) {
+            if (a[i] == b[j]) {
+                ++n;
+                break;
+            }
+        }
+    }
+    return n;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace fvc;
+
+    harness::banner("Table 2",
+                    "Input sensitivity of frequently accessed "
+                    "values (overlap with reference input)");
+    harness::note("paper: ~50% overlap overall; small constants "
+                  "are input-insensitive, address-like values are "
+                  "not (go/gcc high, m88ksim/perl low)");
+
+    const uint64_t accesses = harness::defaultTraceAccesses() / 4;
+
+    util::Table table({"benchmark", "test top7", "test top10",
+                       "train top7", "train top10"});
+    for (size_t c = 1; c <= 4; ++c)
+        table.alignRight(c);
+
+    for (auto bench : workload::fvSpecInt()) {
+        auto ref = harness::prepareTrace(
+            workload::specIntProfile(bench, workload::InputSet::Ref),
+            accesses, 67, 10);
+        auto test = harness::prepareTrace(
+            workload::specIntProfile(bench,
+                                     workload::InputSet::Test),
+            accesses, 67, 10);
+        auto train = harness::prepareTrace(
+            workload::specIntProfile(bench,
+                                     workload::InputSet::Train),
+            accesses, 67, 10);
+
+        auto cell = [&](const harness::PreparedTrace &alt,
+                        size_t k) {
+            return std::to_string(overlap(alt.frequent_values,
+                                          ref.frequent_values, k)) +
+                   "/" + std::to_string(k);
+        };
+        table.addRow({ref.name, cell(test, 7), cell(test, 10),
+                      cell(train, 7), cell(train, 10)});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Table 4: the percentage of referenced addresses whose contents
+ * remain constant throughout execution (reallocations counted as
+ * fresh addresses), side by side with the paper's numbers.
+ */
+
+#include <cstdio>
+
+#include "harness/paper_data.hh"
+#include "harness/report.hh"
+#include "harness/runner.hh"
+#include "profiling/constancy.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "workload/generator.hh"
+
+int
+main()
+{
+    using namespace fvc;
+
+    harness::banner("Table 4", "Addresses with constant values");
+    harness::note("paper: high constancy goes hand in hand with "
+                  "frequent value locality; compress/ijpeg have "
+                  "almost none");
+
+    const uint64_t accesses = harness::defaultTraceAccesses();
+
+    util::Table table(
+        {"benchmark", "constant %", "paper %", "instances"});
+    for (size_t c = 1; c <= 3; ++c)
+        table.alignRight(c);
+
+    for (auto bench : workload::allSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        workload::SyntheticWorkload gen(profile, accesses, 69);
+        profiling::ConstancyTracker tracker(&gen.initialImage());
+        trace::MemRecord rec;
+        while (gen.next(rec))
+            tracker.observe(rec);
+
+        std::string paper = "-";
+        for (const auto &ref : harness::paperTable4()) {
+            if (ref.benchmark == profile.name)
+                paper = util::fixedStr(ref.constant_percent, 1);
+        }
+        table.addRow({profile.name,
+                      util::fixedStr(tracker.constantPercent(), 1),
+                      paper,
+                      util::withCommas(tracker.instances())});
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Design-space explorer: for each modelled benchmark, sweep DMC
+ * sizes with and without an FVC and print the resulting miss rates
+ * — the kind of study an architect would run with this library to
+ * size a cache hierarchy.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "harness/runner.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace fvc;
+
+    uint64_t accesses = 500000;
+    if (argc > 1)
+        accesses = std::strtoull(argv[1], nullptr, 10);
+
+    util::Table table({"benchmark", "DMC Kb", "DMC miss %",
+                       "+FVC512x7 miss %", "reduction %",
+                       "FVC rd hits", "FVC wr hits", "wr allocs",
+                       "partial miss", "inserts"});
+    for (size_t c = 1; c <= 9; ++c)
+        table.alignRight(c);
+
+    for (auto bench : workload::allSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        auto trace = harness::prepareTrace(profile, accesses, 11);
+
+        for (uint32_t kb : {4, 8, 16, 32, 64}) {
+            cache::CacheConfig dmc;
+            dmc.size_bytes = kb * 1024;
+            dmc.line_bytes = 32;
+
+            double base = harness::dmcMissRate(trace, dmc);
+
+            core::FvcConfig fvc;
+            fvc.entries = 512;
+            fvc.line_bytes = dmc.line_bytes;
+            fvc.code_bits = 3;
+            auto sys = harness::runDmcFvc(trace, dmc, fvc);
+            double with = sys->stats().missRatePercent();
+
+            table.addRow(
+                {trace.name, std::to_string(kb),
+                 util::fixedStr(base, 3), util::fixedStr(with, 3),
+                 util::fixedStr(100.0 * (base - with) /
+                                    (base > 0 ? base : 1.0),
+                                1),
+                 util::withCommas(sys->fvcStats().fvc_read_hits),
+                 util::withCommas(sys->fvcStats().fvc_write_hits),
+                 util::withCommas(
+                     sys->fvcStats().write_allocations),
+                 util::withCommas(sys->fvcStats().partial_misses),
+                 util::withCommas(sys->fvcStats().insertions)});
+        }
+        table.addSeparator();
+    }
+    std::printf("%s", table.render().c_str());
+    return 0;
+}

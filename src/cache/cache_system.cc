@@ -1,0 +1,49 @@
+#include "cache/cache_system.hh"
+
+namespace fvc::cache {
+
+DmcSystem::DmcSystem(const CacheConfig &config) : cache_(config)
+{
+}
+
+AccessResult
+DmcSystem::access(const trace::MemRecord &rec)
+{
+    AccessResult result;
+    bool hit = cache_.access(rec.op, rec.addr, rec.value, memory_);
+    result.where = hit ? HitWhere::MainCache : HitWhere::Miss;
+    if (rec.isLoad())
+        result.loaded = cache_.readWord(rec.addr);
+    return result;
+}
+
+void
+DmcSystem::flush()
+{
+    for (const auto &line : cache_.flush()) {
+        if (!line.dirty)
+            continue;
+        cache_.stats().writebacks++;
+        cache_.stats().writeback_bytes +=
+            cache_.config().line_bytes;
+        for (uint32_t w = 0; w < cache_.config().wordsPerLine();
+             ++w) {
+            memory_.write(line.base + w * trace::kWordBytes,
+                          line.data[w]);
+        }
+    }
+}
+
+const CacheStats &
+DmcSystem::stats() const
+{
+    return cache_.stats();
+}
+
+std::string
+DmcSystem::describe() const
+{
+    return "DMC " + cache_.config().describe();
+}
+
+} // namespace fvc::cache

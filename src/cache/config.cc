@@ -1,0 +1,37 @@
+#include "cache/config.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::cache {
+
+void
+CacheConfig::validate() const
+{
+    if (!util::isPowerOf2(size_bytes))
+        fvc_fatal("cache size must be a power of two: ", size_bytes);
+    if (!util::isPowerOf2(line_bytes) ||
+        line_bytes < trace::kWordBytes) {
+        fvc_fatal("bad line size: ", line_bytes);
+    }
+    if (assoc == 0 || lines() == 0 || lines() % assoc != 0)
+        fvc_fatal("bad associativity ", assoc, " for ",
+                  describe());
+    if (!util::isPowerOf2(sets()))
+        fvc_fatal("set count must be a power of two");
+    if (line_bytes > size_bytes)
+        fvc_fatal("line larger than cache");
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::string out = util::sizeStr(size_bytes) + "/" +
+                      std::to_string(line_bytes) + "B/" +
+                      std::to_string(assoc) + "-way";
+    if (write_policy == WritePolicy::WriteThrough)
+        out += "/WT";
+    return out;
+}
+
+} // namespace fvc::cache

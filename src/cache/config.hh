@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cache geometry configuration.
+ */
+
+#ifndef FVC_CACHE_CONFIG_HH_
+#define FVC_CACHE_CONFIG_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "trace/record.hh"
+#include "util/bitops.hh"
+
+namespace fvc::cache {
+
+using trace::Addr;
+using trace::Word;
+
+/** Replacement policy selector. */
+enum class Replacement {
+    LRU,
+    FIFO,
+    Random,
+};
+
+/**
+ * Write policy. The paper evaluates write-back caches only,
+ * "because write-through caches are known to generate much higher
+ * levels of traffic"; WriteThrough is provided so that claim can be
+ * measured (see bench/ext_write_policy).
+ */
+enum class WritePolicy {
+    WriteBack,
+    /** Write-through, no write-allocate (write-around). */
+    WriteThrough,
+};
+
+/** Geometry of one cache array. */
+struct CacheConfig
+{
+    /** Total data capacity in bytes. */
+    uint32_t size_bytes = 16 * 1024;
+    /** Line (block) size in bytes. */
+    uint32_t line_bytes = 32;
+    /** Associativity; 1 = direct mapped. */
+    uint32_t assoc = 1;
+    Replacement replacement = Replacement::LRU;
+    WritePolicy write_policy = WritePolicy::WriteBack;
+
+    uint32_t lines() const { return size_bytes / line_bytes; }
+    uint32_t sets() const { return lines() / assoc; }
+    uint32_t wordsPerLine() const
+    {
+        return line_bytes / trace::kWordBytes;
+    }
+
+    unsigned offsetBits() const { return util::floorLog2(line_bytes); }
+    unsigned indexBits() const { return util::floorLog2(sets()); }
+
+    /** Validate invariants; calls fvc_fatal on bad geometry. */
+    void validate() const;
+
+    /** e.g. "16Kb/32B/1-way". */
+    std::string describe() const;
+
+    /** Line-aligned base address of the line containing @p addr. */
+    Addr lineBase(Addr addr) const
+    {
+        return static_cast<Addr>(
+            util::alignDown(addr, line_bytes));
+    }
+
+    /** Set index for @p addr. */
+    uint32_t setIndex(Addr addr) const
+    {
+        return static_cast<uint32_t>(
+            util::bits(addr, offsetBits(), indexBits()));
+    }
+
+    /** Tag for @p addr (the address bits above index+offset). */
+    uint64_t tag(Addr addr) const
+    {
+        return addr >> (offsetBits() + indexBits());
+    }
+
+    /** Word offset of @p addr within its line. */
+    uint32_t wordOffset(Addr addr) const
+    {
+        return (addr % line_bytes) / trace::kWordBytes;
+    }
+};
+
+} // namespace fvc::cache
+
+#endif // FVC_CACHE_CONFIG_HH_

@@ -1,0 +1,232 @@
+#include "cache/set_assoc_cache.hh"
+
+#include "util/logging.hh"
+
+namespace fvc::cache {
+
+SetAssocCache::SetAssocCache(const CacheConfig &config, uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    config_.validate();
+    lines_.resize(config_.lines());
+    for (auto &line : lines_)
+        line.data.assign(config_.wordsPerLine(), 0);
+}
+
+CacheLine &
+SetAssocCache::lineAt(uint32_t set, uint32_t way)
+{
+    return lines_[static_cast<size_t>(set) * config_.assoc + way];
+}
+
+Addr
+SetAssocCache::reconstructBase(const CacheLine &line,
+                               uint32_t set) const
+{
+    return static_cast<Addr>(
+        (line.tag << (config_.offsetBits() + config_.indexBits())) |
+        (static_cast<uint64_t>(set) << config_.offsetBits()));
+}
+
+CacheLine *
+SetAssocCache::probe(Addr addr)
+{
+    uint32_t set = config_.setIndex(addr);
+    uint64_t tag = config_.tag(addr);
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        CacheLine &line = lineAt(set, way);
+        if (line.valid && line.tag == tag)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheLine *
+SetAssocCache::probe(Addr addr) const
+{
+    return const_cast<SetAssocCache *>(this)->probe(addr);
+}
+
+CacheLine *
+SetAssocCache::probeTouch(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    if (line && config_.replacement == Replacement::LRU)
+        line->stamp = ++clock_;
+    return line;
+}
+
+uint32_t
+SetAssocCache::victimWay(uint32_t set)
+{
+    // Prefer an invalid way.
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        if (!lineAt(set, way).valid)
+            return way;
+    }
+    switch (config_.replacement) {
+      case Replacement::Random:
+        return static_cast<uint32_t>(rng_.below(config_.assoc));
+      case Replacement::LRU:
+      case Replacement::FIFO: {
+        uint32_t best = 0;
+        for (uint32_t way = 1; way < config_.assoc; ++way) {
+            if (lineAt(set, way).stamp < lineAt(set, best).stamp)
+                best = way;
+        }
+        return best;
+      }
+    }
+    fvc_panic("unreachable replacement policy");
+}
+
+std::optional<EvictedLine>
+SetAssocCache::fill(Addr addr, std::vector<Word> data, bool dirty)
+{
+    fvc_assert(data.size() == config_.wordsPerLine(),
+               "fill data arity mismatch");
+    fvc_assert(probe(addr) == nullptr,
+               "fill of already-resident line");
+    uint32_t set = config_.setIndex(addr);
+    uint32_t way = victimWay(set);
+    CacheLine &line = lineAt(set, way);
+
+    std::optional<EvictedLine> victim;
+    if (line.valid) {
+        victim = EvictedLine{reconstructBase(line, set), line.dirty,
+                             line.data};
+    }
+    line.tag = config_.tag(addr);
+    line.valid = true;
+    line.dirty = dirty;
+    line.stamp = ++clock_;
+    line.data = std::move(data);
+    return victim;
+}
+
+std::optional<EvictedLine>
+SetAssocCache::invalidate(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    if (!line)
+        return std::nullopt;
+    EvictedLine out{config_.lineBase(addr), line->dirty, line->data};
+    line->valid = false;
+    line->dirty = false;
+    return out;
+}
+
+std::vector<EvictedLine>
+SetAssocCache::flush()
+{
+    std::vector<EvictedLine> out;
+    for (uint32_t set = 0; set < config_.sets(); ++set) {
+        for (uint32_t way = 0; way < config_.assoc; ++way) {
+            CacheLine &line = lineAt(set, way);
+            if (!line.valid)
+                continue;
+            out.push_back({reconstructBase(line, set), line.dirty,
+                           line.data});
+            line.valid = false;
+            line.dirty = false;
+        }
+    }
+    return out;
+}
+
+Word
+SetAssocCache::readWord(Addr addr)
+{
+    CacheLine *line = probe(addr);
+    fvc_assert(line, "readWord on non-resident line");
+    return line->data[config_.wordOffset(addr)];
+}
+
+void
+SetAssocCache::writeWord(Addr addr, Word value)
+{
+    CacheLine *line = probe(addr);
+    fvc_assert(line, "writeWord on non-resident line");
+    line->data[config_.wordOffset(addr)] = value;
+    line->dirty = true;
+}
+
+uint32_t
+SetAssocCache::validLines() const
+{
+    uint32_t n = 0;
+    for (const auto &line : lines_) {
+        if (line.valid)
+            ++n;
+    }
+    return n;
+}
+
+bool
+SetAssocCache::access(trace::Op op, Addr addr, Word value,
+                      memmodel::FunctionalMemory &memory)
+{
+    fvc_assert(op == trace::Op::Load || op == trace::Op::Store,
+               "access requires a load or store");
+    const bool write_through =
+        config_.write_policy == WritePolicy::WriteThrough;
+
+    CacheLine *line = probeTouch(addr);
+    if (line) {
+        if (op == trace::Op::Load) {
+            ++stats_.read_hits;
+        } else {
+            ++stats_.write_hits;
+            line->data[config_.wordOffset(addr)] = value;
+            if (write_through) {
+                // The store goes straight through to memory; the
+                // cached copy stays clean.
+                memory.write(addr, value);
+                stats_.writeback_bytes += trace::kWordBytes;
+            } else {
+                line->dirty = true;
+            }
+        }
+        return true;
+    }
+
+    if (op == trace::Op::Store && write_through) {
+        // Write-around: update memory without allocating a line.
+        ++stats_.write_misses;
+        memory.write(addr, value);
+        stats_.writeback_bytes += trace::kWordBytes;
+        return false;
+    }
+
+    // Miss: fetch the whole line from memory (write-allocate).
+    if (op == trace::Op::Load)
+        ++stats_.read_misses;
+    else
+        ++stats_.write_misses;
+
+    Addr base = config_.lineBase(addr);
+    std::vector<Word> data(config_.wordsPerLine());
+    for (uint32_t w = 0; w < config_.wordsPerLine(); ++w)
+        data[w] = memory.read(base + w * trace::kWordBytes);
+    ++stats_.fills;
+    stats_.fetch_bytes += config_.line_bytes;
+
+    auto victim = fill(addr, std::move(data), false);
+    if (victim && victim->dirty) {
+        ++stats_.writebacks;
+        stats_.writeback_bytes += config_.line_bytes;
+        for (uint32_t w = 0; w < config_.wordsPerLine(); ++w) {
+            memory.write(victim->base + w * trace::kWordBytes,
+                         victim->data[w]);
+        }
+    }
+
+    if (op == trace::Op::Store) {
+        CacheLine *filled = probe(addr);
+        filled->data[config_.wordOffset(addr)] = value;
+        filled->dirty = true;
+    }
+    return false;
+}
+
+} // namespace fvc::cache

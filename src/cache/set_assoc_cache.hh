@@ -1,0 +1,144 @@
+/**
+ * @file
+ * A data-carrying, write-back, write-allocate set-associative cache.
+ *
+ * Unlike address-only simulators, lines hold the actual word values;
+ * the FVC protocol needs them (an evicted line's frequent values are
+ * inserted into the FVC) and they let the tests verify end-to-end
+ * data integrity against the functional memory.
+ */
+
+#ifndef FVC_CACHE_SET_ASSOC_CACHE_HH_
+#define FVC_CACHE_SET_ASSOC_CACHE_HH_
+
+#include <optional>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "memmodel/functional_memory.hh"
+#include "util/random.hh"
+
+namespace fvc::cache {
+
+/** A cache line with data words. */
+struct CacheLine
+{
+    uint64_t tag = 0;
+    bool valid = false;
+    bool dirty = false;
+    /** Monotonic stamp for LRU/FIFO ordering. */
+    uint64_t stamp = 0;
+    std::vector<Word> data;
+};
+
+/** A line evicted from the cache, with its reconstructed address. */
+struct EvictedLine
+{
+    Addr base;
+    bool dirty;
+    std::vector<Word> data;
+};
+
+/**
+ * The cache array. The DMC of the paper is this with assoc = 1.
+ *
+ * The cache is a slave of a CacheSystem: it does not itself talk to
+ * memory. probe/fill/evict primitives let systems compose it with
+ * victim caches and FVCs; access() is a convenience for standalone
+ * use against a backing FunctionalMemory.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheConfig &config,
+                           uint64_t seed = 12345);
+
+    const CacheConfig &config() const { return config_; }
+
+    /** Look up @p addr; returns the line or nullptr. No stats. */
+    CacheLine *probe(Addr addr);
+    const CacheLine *probe(Addr addr) const;
+
+    /** probe() + LRU touch. */
+    CacheLine *probeTouch(Addr addr);
+
+    /**
+     * Install a line for @p addr with the given words.
+     *
+     * @param addr any address within the line
+     * @param data wordsPerLine() values
+     * @param dirty initial dirty state
+     * @return the victim line if a valid line was displaced
+     */
+    std::optional<EvictedLine> fill(Addr addr,
+                                    std::vector<Word> data,
+                                    bool dirty);
+
+    /** Invalidate the line containing @p addr if present.
+     * @return the line's contents (for writeback decisions) */
+    std::optional<EvictedLine> invalidate(Addr addr);
+
+    /** Invalidate everything, returning dirty lines. */
+    std::vector<EvictedLine> flush();
+
+    /** Read the word at @p addr; line must be resident. */
+    Word readWord(Addr addr);
+
+    /** Write the word at @p addr; line must be resident. */
+    void writeWord(Addr addr, Word value);
+
+    /** Number of valid lines (for occupancy studies). */
+    uint32_t validLines() const;
+
+    /**
+     * Standalone access against a backing memory: hit => serve from
+     * the array, miss => write back victim and fetch the line.
+     * Updates stats().
+     *
+     * @retval true hit, false miss
+     */
+    bool access(trace::Op op, Addr addr, Word value,
+                memmodel::FunctionalMemory &memory);
+
+    CacheStats &stats() { return stats_; }
+    const CacheStats &stats() const { return stats_; }
+
+  private:
+    CacheConfig config_;
+    std::vector<CacheLine> lines_;
+    uint64_t clock_ = 0;
+    util::Rng rng_;
+    CacheStats stats_;
+
+    CacheLine &lineAt(uint32_t set, uint32_t way);
+    uint32_t victimWay(uint32_t set);
+    Addr reconstructBase(const CacheLine &line, uint32_t set) const;
+
+    friend class CacheInspector;
+};
+
+/** Test-only deep inspector (keeps the main API clean). */
+class CacheInspector
+{
+  public:
+    explicit CacheInspector(SetAssocCache &cache) : cache_(cache) {}
+
+    const CacheLine &line(uint32_t set, uint32_t way) const
+    {
+        return cache_.lineAt(set, way);
+    }
+
+    Addr
+    lineBase(uint32_t set, uint32_t way) const
+    {
+        return cache_.reconstructBase(cache_.lineAt(set, way), set);
+    }
+
+  private:
+    SetAssocCache &cache_;
+};
+
+} // namespace fvc::cache
+
+#endif // FVC_CACHE_SET_ASSOC_CACHE_HH_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Statistics gathered by the cache models.
+ */
+
+#ifndef FVC_CACHE_STATS_HH_
+#define FVC_CACHE_STATS_HH_
+
+#include <cstdint>
+
+namespace fvc::cache {
+
+/** Counters for one cache array or an entire cache system. */
+struct CacheStats
+{
+    uint64_t read_hits = 0;
+    uint64_t read_misses = 0;
+    uint64_t write_hits = 0;
+    uint64_t write_misses = 0;
+
+    /** Lines fetched from the next level (memory). */
+    uint64_t fills = 0;
+    /** Dirty lines written back. */
+    uint64_t writebacks = 0;
+
+    /** Bytes fetched from memory. */
+    uint64_t fetch_bytes = 0;
+    /** Bytes written back to memory. */
+    uint64_t writeback_bytes = 0;
+
+    uint64_t hits() const { return read_hits + write_hits; }
+    uint64_t misses() const { return read_misses + write_misses; }
+    uint64_t accesses() const { return hits() + misses(); }
+
+    /** Miss rate in percent (0 if no accesses). */
+    double
+    missRatePercent() const
+    {
+        uint64_t a = accesses();
+        if (a == 0)
+            return 0.0;
+        return 100.0 * static_cast<double>(misses()) /
+               static_cast<double>(a);
+    }
+
+    /** Total off-chip traffic in bytes. */
+    uint64_t trafficBytes() const
+    {
+        return fetch_bytes + writeback_bytes;
+    }
+
+    CacheStats &
+    operator+=(const CacheStats &o)
+    {
+        read_hits += o.read_hits;
+        read_misses += o.read_misses;
+        write_hits += o.write_hits;
+        write_misses += o.write_misses;
+        fills += o.fills;
+        writebacks += o.writebacks;
+        fetch_bytes += o.fetch_bytes;
+        writeback_bytes += o.writeback_bytes;
+        return *this;
+    }
+};
+
+} // namespace fvc::cache
+
+#endif // FVC_CACHE_STATS_HH_

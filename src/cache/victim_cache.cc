@@ -1,0 +1,193 @@
+#include "cache/victim_cache.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::cache {
+
+VictimCache::VictimCache(uint32_t entries, uint32_t line_bytes)
+    : entries_(entries), line_bytes_(line_bytes)
+{
+    fvc_assert(entries > 0, "victim cache needs entries");
+    fvc_assert(line_bytes >= trace::kWordBytes,
+               "bad victim line size");
+}
+
+std::optional<EvictedLine>
+VictimCache::extract(Addr line_base)
+{
+    for (auto it = lines_.begin(); it != lines_.end(); ++it) {
+        if (it->base == line_base) {
+            EvictedLine out = std::move(*it);
+            lines_.erase(it);
+            return out;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+VictimCache::contains(Addr line_base) const
+{
+    for (const auto &line : lines_) {
+        if (line.base == line_base)
+            return true;
+    }
+    return false;
+}
+
+std::optional<EvictedLine>
+VictimCache::insert(const EvictedLine &line)
+{
+    fvc_assert(!contains(line.base),
+               "duplicate insert into victim cache");
+    lines_.push_front(line);
+    if (lines_.size() <= entries_)
+        return std::nullopt;
+    EvictedLine out = std::move(lines_.back());
+    lines_.pop_back();
+    return out;
+}
+
+std::vector<EvictedLine>
+VictimCache::flush()
+{
+    std::vector<EvictedLine> out(lines_.begin(), lines_.end());
+    lines_.clear();
+    return out;
+}
+
+uint64_t
+VictimCache::storageBits() const
+{
+    // Full tag (address minus offset bits), valid + dirty bits, and
+    // the data words.
+    unsigned offset_bits = util::floorLog2(line_bytes_);
+    uint64_t tag_bits = 32 - offset_bits;
+    uint64_t per_line = tag_bits + 2 + 8ull * line_bytes_;
+    return per_line * entries_;
+}
+
+DmcVictimSystem::DmcVictimSystem(const CacheConfig &dmc_config,
+                                 uint32_t victim_entries)
+    : dmc_(dmc_config),
+      victim_(victim_entries, dmc_config.line_bytes)
+{
+}
+
+void
+DmcVictimSystem::writebackLine(const EvictedLine &line)
+{
+    if (!line.dirty)
+        return;
+    ++stats_.writebacks;
+    stats_.writeback_bytes += dmc_.config().line_bytes;
+    for (uint32_t w = 0; w < dmc_.config().wordsPerLine(); ++w) {
+        memory_.write(line.base + w * trace::kWordBytes,
+                      line.data[w]);
+    }
+}
+
+void
+DmcVictimSystem::installLine(Addr addr, std::vector<Word> data,
+                             bool dirty)
+{
+    auto displaced = dmc_.fill(addr, std::move(data), dirty);
+    if (!displaced)
+        return;
+    // The displaced DMC line moves into the victim buffer; the
+    // buffer's own casualty goes to memory.
+    auto overflow = victim_.insert(*displaced);
+    if (overflow)
+        writebackLine(*overflow);
+}
+
+AccessResult
+DmcVictimSystem::access(const trace::MemRecord &rec)
+{
+    fvc_assert(rec.isAccess(), "access requires load/store");
+    AccessResult result;
+    Addr addr = rec.addr;
+
+    if (CacheLine *line = dmc_.probeTouch(addr)) {
+        if (rec.isLoad()) {
+            ++stats_.read_hits;
+            result.loaded =
+                line->data[dmc_.config().wordOffset(addr)];
+        } else {
+            ++stats_.write_hits;
+            line->data[dmc_.config().wordOffset(addr)] = rec.value;
+            line->dirty = true;
+        }
+        result.where = HitWhere::MainCache;
+        return result;
+    }
+
+    Addr base = dmc_.config().lineBase(addr);
+    if (auto saved = victim_.extract(base)) {
+        // Victim hit: swap the saved line back into the DMC.
+        ++victim_hits_;
+        if (rec.isLoad())
+            ++stats_.read_hits;
+        else
+            ++stats_.write_hits;
+        installLine(addr, std::move(saved->data), saved->dirty);
+        CacheLine *line = dmc_.probe(addr);
+        if (rec.isLoad()) {
+            result.loaded =
+                line->data[dmc_.config().wordOffset(addr)];
+        } else {
+            line->data[dmc_.config().wordOffset(addr)] = rec.value;
+            line->dirty = true;
+        }
+        result.where = HitWhere::AuxCache;
+        return result;
+    }
+
+    // Full miss: fetch from memory.
+    if (rec.isLoad())
+        ++stats_.read_misses;
+    else
+        ++stats_.write_misses;
+    ++stats_.fills;
+    stats_.fetch_bytes += dmc_.config().line_bytes;
+
+    std::vector<Word> data(dmc_.config().wordsPerLine());
+    for (uint32_t w = 0; w < data.size(); ++w)
+        data[w] = memory_.read(base + w * trace::kWordBytes);
+    installLine(addr, std::move(data), false);
+
+    CacheLine *line = dmc_.probe(addr);
+    if (rec.isLoad()) {
+        result.loaded = line->data[dmc_.config().wordOffset(addr)];
+    } else {
+        line->data[dmc_.config().wordOffset(addr)] = rec.value;
+        line->dirty = true;
+    }
+    result.where = HitWhere::Miss;
+    return result;
+}
+
+void
+DmcVictimSystem::flush()
+{
+    for (const auto &line : dmc_.flush())
+        writebackLine(line);
+    for (const auto &line : victim_.flush())
+        writebackLine(line);
+}
+
+const CacheStats &
+DmcVictimSystem::stats() const
+{
+    return stats_;
+}
+
+std::string
+DmcVictimSystem::describe() const
+{
+    return "DMC " + dmc_.config().describe() + " + VC " +
+           std::to_string(victim_.entries()) + " entries";
+}
+
+} // namespace fvc::cache

@@ -1,0 +1,75 @@
+#include "core/adaptive_system.hh"
+
+namespace fvc::core {
+
+namespace {
+
+/**
+ * Warmup value set: a sentinel that no realistic workload stores,
+ * keeping the FVC cold until the first training.
+ */
+std::vector<Word>
+sentinelValues()
+{
+    return {0xfeedfaceu};
+}
+
+} // namespace
+
+AdaptiveDmcFvcSystem::AdaptiveDmcFvcSystem(
+    const cache::CacheConfig &dmc_config,
+    const FvcConfig &fvc_config, AdaptiveTrainPolicy train_policy,
+    DmcFvcPolicy fvc_policy)
+    : policy_(train_policy),
+      inner_(dmc_config, fvc_config,
+             FrequentValueEncoding(sentinelValues(),
+                                   fvc_config.code_bits),
+             fvc_policy),
+      sketch_(train_policy.sketch_counters)
+{
+}
+
+void
+AdaptiveDmcFvcSystem::train()
+{
+    uint32_t capacity = inner_.fvc().encoding().capacity();
+    std::vector<Word> values;
+    for (const auto &vc : sketch_.topK(capacity))
+        values.push_back(vc.value);
+    if (values.empty())
+        return;
+    inner_.retrain(values);
+    trained_ = true;
+    ++astats_.trainings;
+    astats_.last_training_access = accesses_;
+}
+
+cache::AccessResult
+AdaptiveDmcFvcSystem::access(const trace::MemRecord &rec)
+{
+    sketch_.add(rec.value);
+    ++accesses_;
+    if (!trained_) {
+        if (accesses_ >= policy_.warmup_accesses)
+            train();
+    } else if (policy_.retrain_interval != 0 &&
+               (accesses_ - astats_.last_training_access) >=
+                   policy_.retrain_interval) {
+        train();
+    }
+    return inner_.access(rec);
+}
+
+std::string
+AdaptiveDmcFvcSystem::describe() const
+{
+    return inner_.describe() + " (online-trained)";
+}
+
+std::vector<Word>
+AdaptiveDmcFvcSystem::currentValues() const
+{
+    return inner_.fvc().encoding().values();
+}
+
+} // namespace fvc::core

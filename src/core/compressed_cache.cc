@@ -1,0 +1,252 @@
+#include "core/compressed_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::core {
+
+void
+CompressedCacheConfig::validate() const
+{
+    if (!util::isPowerOf2(size_bytes) ||
+        !util::isPowerOf2(line_bytes) ||
+        line_bytes < trace::kWordBytes) {
+        fvc_fatal("bad compressed cache geometry");
+    }
+    if (assoc == 0 || physicalLines() % assoc != 0 ||
+        !util::isPowerOf2(sets())) {
+        fvc_fatal("bad compressed cache associativity");
+    }
+    if (code_bits < 1 || code_bits > 8)
+        fvc_fatal("bad code width");
+}
+
+CompressedDataCache::CompressedDataCache(
+    const CompressedCacheConfig &config,
+    FrequentValueEncoding encoding)
+    : config_(config), encoding_(std::move(encoding))
+{
+    config_.validate();
+    fvc_assert(encoding_.codeBits() == config_.code_bits,
+               "encoding width mismatch");
+    sets_.resize(config_.sets());
+}
+
+uint32_t
+CompressedDataCache::setIndex(Addr addr) const
+{
+    unsigned offset_bits = util::floorLog2(config_.line_bytes);
+    unsigned index_bits = util::floorLog2(config_.sets());
+    return static_cast<uint32_t>(
+        util::bits(addr, offset_bits, index_bits));
+}
+
+uint64_t
+CompressedDataCache::tagOf(Addr addr) const
+{
+    unsigned offset_bits = util::floorLog2(config_.line_bytes);
+    unsigned index_bits = util::floorLog2(config_.sets());
+    return addr >> (offset_bits + index_bits);
+}
+
+trace::Addr
+CompressedDataCache::baseOf(uint64_t tag, uint32_t set) const
+{
+    unsigned offset_bits = util::floorLog2(config_.line_bytes);
+    unsigned index_bits = util::floorLog2(config_.sets());
+    return static_cast<Addr>(
+        (tag << (offset_bits + index_bits)) |
+        (static_cast<uint64_t>(set) << offset_bits));
+}
+
+bool
+CompressedDataCache::compressible(
+    const std::vector<Word> &data) const
+{
+    // Compressed format: one code per word plus the non-frequent
+    // words verbatim. It must fit half a physical line.
+    uint32_t words = config_.wordsPerLine();
+    uint32_t infrequent = 0;
+    for (Word v : data) {
+        if (!encoding_.isFrequent(v))
+            ++infrequent;
+    }
+    uint64_t bits = static_cast<uint64_t>(words) *
+                        config_.code_bits +
+                    32ull * infrequent;
+    return bits <= 4ull * config_.line_bytes; // half of 8*bytes
+}
+
+double
+CompressedDataCache::setCost(const Set &set) const
+{
+    double total = 0.0;
+    for (const auto &line : set.lines)
+        total += cost(line);
+    return total;
+}
+
+CompressedDataCache::Logical *
+CompressedDataCache::find(uint32_t set, uint64_t tag, bool touch)
+{
+    auto &lines = sets_[set].lines;
+    for (auto it = lines.begin(); it != lines.end(); ++it) {
+        if (it->tag == tag) {
+            // splice() preserves iterator/pointer validity.
+            if (touch && it != lines.begin())
+                lines.splice(lines.begin(), lines, it);
+            return &*it;
+        }
+    }
+    return nullptr;
+}
+
+void
+CompressedDataCache::writeback(const Logical &line, uint32_t set)
+{
+    if (!line.dirty)
+        return;
+    ++stats_.writebacks;
+    stats_.writeback_bytes += config_.line_bytes;
+    Addr base = baseOf(line.tag, set);
+    for (uint32_t w = 0; w < config_.wordsPerLine(); ++w) {
+        memory_.write(base + w * trace::kWordBytes, line.data[w]);
+    }
+}
+
+void
+CompressedDataCache::makeRoom(uint32_t set, double extra)
+{
+    auto &lines = sets_[set].lines;
+    while (setCost(sets_[set]) + extra >
+           static_cast<double>(config_.assoc)) {
+        fvc_assert(!lines.empty(), "cannot make room in empty set");
+        writeback(lines.back(), set);
+        lines.pop_back();
+    }
+}
+
+void
+CompressedDataCache::fill(Addr addr)
+{
+    uint32_t set = setIndex(addr);
+    Addr base = baseOf(tagOf(addr), set);
+    Logical line;
+    line.tag = tagOf(addr);
+    line.data.resize(config_.wordsPerLine());
+    for (uint32_t w = 0; w < config_.wordsPerLine(); ++w)
+        line.data[w] = memory_.read(base + w * trace::kWordBytes);
+    line.compressed = compressible(line.data);
+
+    ++stats_.fills;
+    stats_.fetch_bytes += config_.line_bytes;
+    makeRoom(set, cost(line));
+    sets_[set].lines.push_front(std::move(line));
+}
+
+cache::AccessResult
+CompressedDataCache::access(const trace::MemRecord &rec)
+{
+    fvc_assert(rec.isAccess(), "access requires load/store");
+    cache::AccessResult result;
+    ++access_count_;
+    if (access_count_ % 4096 == 0)
+        sampleOccupancy();
+
+    uint32_t set = setIndex(rec.addr);
+    uint64_t tag = tagOf(rec.addr);
+    uint32_t off = (rec.addr % config_.line_bytes) /
+                   trace::kWordBytes;
+
+    Logical *line = find(set, tag, true);
+    if (!line) {
+        if (rec.isLoad())
+            ++stats_.read_misses;
+        else
+            ++stats_.write_misses;
+        fill(rec.addr);
+        line = find(set, tag, false);
+    } else {
+        if (rec.isLoad())
+            ++stats_.read_hits;
+        else
+            ++stats_.write_hits;
+        result.where = cache::HitWhere::MainCache;
+    }
+
+    if (rec.isLoad()) {
+        result.loaded = line->data[off];
+        return result;
+    }
+
+    line->data[off] = rec.value;
+    line->dirty = true;
+    if (line->compressed && !compressible(line->data)) {
+        // Fat write: the line no longer fits its half-slot.
+        ++cstats_.fat_writes;
+        line->compressed = false;
+        if (setCost(sets_[set]) >
+            static_cast<double>(config_.assoc)) {
+            // Evict the LRU *other* line to restore capacity.
+            auto &lines = sets_[set].lines;
+            fvc_assert(lines.size() > 1, "expansion invariant");
+            writeback(lines.back(), set);
+            lines.pop_back();
+            ++cstats_.expansion_evictions;
+        }
+    } else if (!line->compressed &&
+               compressible(line->data)) {
+        line->compressed = true;
+    }
+    return result;
+}
+
+void
+CompressedDataCache::flush()
+{
+    for (uint32_t set = 0; set < sets_.size(); ++set) {
+        for (const auto &line : sets_[set].lines)
+            writeback(line, set);
+        sets_[set].lines.clear();
+    }
+}
+
+std::string
+CompressedDataCache::describe() const
+{
+    return "compressed cache " + util::sizeStr(config_.size_bytes) +
+           "/" + std::to_string(config_.line_bytes) + "B/" +
+           std::to_string(config_.assoc) + "-way (" +
+           std::to_string(encoding_.valueCount()) + " values)";
+}
+
+uint32_t
+CompressedDataCache::residentLines() const
+{
+    uint32_t n = 0;
+    for (const auto &set : sets_)
+        n += static_cast<uint32_t>(set.lines.size());
+    return n;
+}
+
+void
+CompressedDataCache::sampleOccupancy()
+{
+    uint64_t total = 0, compressed = 0;
+    for (const auto &set : sets_) {
+        for (const auto &line : set.lines) {
+            ++total;
+            if (line.compressed)
+                ++compressed;
+        }
+    }
+    if (total == 0)
+        return;
+    cstats_.compressed_fraction_sum +=
+        static_cast<double>(compressed) /
+        static_cast<double>(total);
+    ++cstats_.samples;
+}
+
+} // namespace fvc::core

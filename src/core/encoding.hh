@@ -1,0 +1,114 @@
+/**
+ * @file
+ * FrequentValueEncoding: the b-bit code <-> 32-bit value map of
+ * Figure 7. With b code bits, 2^b - 1 frequent values are encodable
+ * and the all-ones code means "non-frequent value here".
+ */
+
+#ifndef FVC_CORE_ENCODING_HH_
+#define FVC_CORE_ENCODING_HH_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace fvc::core {
+
+using trace::Word;
+
+/** A packed b-bit code. */
+using Code = uint8_t;
+
+/**
+ * Encodes/decodes the top frequently accessed values.
+ *
+ * The paper's configurations use 1, 2, or 3 code bits (top 1, 3, or
+ * 7 values); this implementation accepts up to 8 bits.
+ */
+class FrequentValueEncoding
+{
+  public:
+    /**
+     * @param values the frequent values, most frequent first; at
+     *               most 2^code_bits - 1 are used
+     * @param code_bits width of a code in bits (1..8)
+     */
+    FrequentValueEncoding(const std::vector<Word> &values,
+                          unsigned code_bits);
+
+    unsigned codeBits() const { return code_bits_; }
+
+    /** The code meaning "not a frequent value". */
+    Code nonFrequentCode() const { return non_frequent_; }
+
+    /** Maximum number of encodable values for this width. */
+    uint32_t capacity() const { return non_frequent_; }
+
+    /** Number of values actually encoded. */
+    uint32_t valueCount() const
+    {
+        return static_cast<uint32_t>(values_.size());
+    }
+
+    /** True iff @p value has a code. */
+    bool isFrequent(Word value) const
+    {
+        return codes_.find(value) != codes_.end();
+    }
+
+    /** Code for @p value, or nonFrequentCode() if it has none. */
+    Code encode(Word value) const;
+
+    /**
+     * Value for @p code; nullopt for the non-frequent code.
+     * Calls fvc_panic for codes beyond the encoded set.
+     */
+    std::optional<Word> decode(Code code) const;
+
+    /** The encoded values in code order. */
+    const std::vector<Word> &values() const { return values_; }
+
+  private:
+    unsigned code_bits_;
+    Code non_frequent_;
+    std::vector<Word> values_;
+    std::unordered_map<Word, Code> codes_;
+};
+
+/**
+ * A packed array of n codes of b bits each — the FVC's "encoded
+ * data cache field" (one code per word of the corresponding DMC
+ * line). Storage rounds up to whole bytes.
+ */
+class CodeArray
+{
+  public:
+    CodeArray(uint32_t count, unsigned code_bits);
+
+    Code get(uint32_t i) const;
+    void set(uint32_t i, Code code);
+
+    /** Set every code to @p code. */
+    void fillWith(Code code);
+
+    uint32_t count() const { return count_; }
+    unsigned codeBits() const { return code_bits_; }
+
+    /** Storage used, in bits (count * code_bits). */
+    uint64_t bits() const
+    {
+        return static_cast<uint64_t>(count_) * code_bits_;
+    }
+
+  private:
+    uint32_t count_;
+    unsigned code_bits_;
+    std::vector<uint8_t> storage_;
+};
+
+} // namespace fvc::core
+
+#endif // FVC_CORE_ENCODING_HH_

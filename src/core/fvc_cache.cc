@@ -1,0 +1,305 @@
+#include "core/fvc_cache.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::core {
+
+void
+FvcConfig::validate() const
+{
+    if (!util::isPowerOf2(entries))
+        fvc_fatal("FVC entries must be a power of two: ", entries);
+    if (!util::isPowerOf2(line_bytes) || line_bytes < trace::kWordBytes)
+        fvc_fatal("bad FVC line size: ", line_bytes);
+    if (code_bits < 1 || code_bits > 8)
+        fvc_fatal("bad FVC code width: ", code_bits);
+    if (assoc == 0 || entries % assoc != 0 ||
+        !util::isPowerOf2(entries / assoc)) {
+        fvc_fatal("bad FVC associativity");
+    }
+}
+
+uint64_t
+FvcConfig::storageBits() const
+{
+    unsigned offset_bits = util::floorLog2(line_bytes);
+    unsigned index_bits = util::floorLog2(sets());
+    uint64_t tag_bits = 32 - offset_bits - index_bits;
+    uint64_t per_entry =
+        tag_bits + 2 + static_cast<uint64_t>(wordsPerLine()) * code_bits;
+    return per_entry * entries;
+}
+
+std::string
+FvcConfig::describe() const
+{
+    return std::to_string(entries) + "-entry FVC (" +
+           std::to_string((1u << code_bits) - 1) + " values, " +
+           std::to_string(line_bytes) + "B lines)";
+}
+
+FrequentValueCache::FrequentValueCache(const FvcConfig &config,
+                                       FrequentValueEncoding encoding)
+    : config_(config), encoding_(std::move(encoding))
+{
+    config_.validate();
+    fvc_assert(encoding_.codeBits() == config_.code_bits,
+               "encoding width does not match FVC config");
+    entries_.reserve(config_.entries);
+    for (uint32_t i = 0; i < config_.entries; ++i)
+        entries_.emplace_back(config_.wordsPerLine(),
+                              config_.code_bits);
+}
+
+unsigned
+FrequentValueCache::offsetBits() const
+{
+    return util::floorLog2(config_.line_bytes);
+}
+
+unsigned
+FrequentValueCache::indexBits() const
+{
+    return util::floorLog2(config_.sets());
+}
+
+uint32_t
+FrequentValueCache::setIndex(Addr addr) const
+{
+    return static_cast<uint32_t>(
+        util::bits(addr, offsetBits(), indexBits()));
+}
+
+uint64_t
+FrequentValueCache::tagOf(Addr addr) const
+{
+    return addr >> (offsetBits() + indexBits());
+}
+
+uint32_t
+FrequentValueCache::wordOffset(Addr addr) const
+{
+    return (addr % config_.line_bytes) / trace::kWordBytes;
+}
+
+Addr
+FrequentValueCache::baseOf(const Entry &entry, uint32_t set) const
+{
+    return static_cast<Addr>(
+        (entry.tag << (offsetBits() + indexBits())) |
+        (static_cast<uint64_t>(set) << offsetBits()));
+}
+
+FrequentValueCache::Entry *
+FrequentValueCache::findEntry(Addr addr)
+{
+    uint32_t set = setIndex(addr);
+    uint64_t tag = tagOf(addr);
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Entry &e = entries_[static_cast<size_t>(set) * config_.assoc +
+                            way];
+        if (e.valid && e.tag == tag)
+            return &e;
+    }
+    return nullptr;
+}
+
+const FrequentValueCache::Entry *
+FrequentValueCache::findEntry(Addr addr) const
+{
+    return const_cast<FrequentValueCache *>(this)->findEntry(addr);
+}
+
+FrequentValueCache::Entry &
+FrequentValueCache::victimEntry(uint32_t set)
+{
+    Entry *best = nullptr;
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        Entry &e = entries_[static_cast<size_t>(set) * config_.assoc +
+                            way];
+        if (!e.valid)
+            return e;
+        if (!best || e.stamp < best->stamp)
+            best = &e;
+    }
+    return *best;
+}
+
+FvcEvicted
+FrequentValueCache::extractEntry(Entry &entry, uint32_t set) const
+{
+    FvcEvicted out;
+    out.base = baseOf(entry, set);
+    out.dirty = entry.dirty;
+    out.words.resize(config_.wordsPerLine());
+    for (uint32_t w = 0; w < config_.wordsPerLine(); ++w)
+        out.words[w] = encoding_.decode(entry.codes.get(w));
+    return out;
+}
+
+bool
+FrequentValueCache::tagMatch(Addr addr) const
+{
+    return findEntry(addr) != nullptr;
+}
+
+std::optional<Word>
+FrequentValueCache::readWord(Addr addr)
+{
+    Entry *e = findEntry(addr);
+    if (!e)
+        return std::nullopt;
+    e->stamp = ++clock_;
+    return encoding_.decode(e->codes.get(wordOffset(addr)));
+}
+
+bool
+FrequentValueCache::writeWord(Addr addr, Word value)
+{
+    Entry *e = findEntry(addr);
+    if (!e)
+        return false;
+    Code code = encoding_.encode(value);
+    if (code == encoding_.nonFrequentCode())
+        return false;
+    e->codes.set(wordOffset(addr), code);
+    e->dirty = true;
+    e->stamp = ++clock_;
+    return true;
+}
+
+std::optional<FvcEvicted>
+FrequentValueCache::insertLine(Addr base,
+                               const std::vector<Word> &data,
+                               bool dirty)
+{
+    fvc_assert(data.size() == config_.wordsPerLine(),
+               "insertLine arity mismatch");
+    fvc_assert(findEntry(base) == nullptr,
+               "insertLine over resident entry");
+    uint32_t set = setIndex(base);
+    Entry &slot = victimEntry(set);
+
+    std::optional<FvcEvicted> out;
+    if (slot.valid)
+        out = extractEntry(slot, set);
+
+    slot.tag = tagOf(base);
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.stamp = ++clock_;
+    for (uint32_t w = 0; w < config_.wordsPerLine(); ++w)
+        slot.codes.set(w, encoding_.encode(data[w]));
+    return out;
+}
+
+std::optional<FvcEvicted>
+FrequentValueCache::writeAllocate(Addr addr, Word value)
+{
+    Code code = encoding_.encode(value);
+    fvc_assert(code != encoding_.nonFrequentCode(),
+               "writeAllocate requires a frequent value");
+    fvc_assert(findEntry(addr) == nullptr,
+               "writeAllocate over resident entry");
+    uint32_t set = setIndex(addr);
+    Entry &slot = victimEntry(set);
+
+    std::optional<FvcEvicted> out;
+    if (slot.valid)
+        out = extractEntry(slot, set);
+
+    slot.tag = tagOf(addr);
+    slot.valid = true;
+    slot.dirty = true;
+    slot.stamp = ++clock_;
+    slot.codes.fillWith(encoding_.nonFrequentCode());
+    slot.codes.set(wordOffset(addr), code);
+    return out;
+}
+
+std::optional<FvcEvicted>
+FrequentValueCache::invalidate(Addr addr)
+{
+    Entry *e = findEntry(addr);
+    if (!e)
+        return std::nullopt;
+    FvcEvicted out = extractEntry(*e, setIndex(addr));
+    e->valid = false;
+    e->dirty = false;
+    return out;
+}
+
+std::vector<FvcEvicted>
+FrequentValueCache::flush()
+{
+    std::vector<FvcEvicted> out;
+    for (uint32_t set = 0; set < config_.sets(); ++set) {
+        for (uint32_t way = 0; way < config_.assoc; ++way) {
+            Entry &e =
+                entries_[static_cast<size_t>(set) * config_.assoc +
+                         way];
+            if (!e.valid)
+                continue;
+            out.push_back(extractEntry(e, set));
+            e.valid = false;
+            e.dirty = false;
+        }
+    }
+    return out;
+}
+
+void
+FrequentValueCache::rekey(FrequentValueEncoding encoding)
+{
+    fvc_assert(encoding.codeBits() == config_.code_bits,
+               "rekey must keep the code width");
+    fvc_assert(validLines() == 0,
+               "rekey requires a flushed FVC");
+    encoding_ = std::move(encoding);
+}
+
+uint32_t
+FrequentValueCache::validLines() const
+{
+    uint32_t n = 0;
+    for (const auto &e : entries_) {
+        if (e.valid)
+            ++n;
+    }
+    return n;
+}
+
+double
+FrequentValueCache::frequentCodeFraction() const
+{
+    uint64_t slots = 0, frequent = 0;
+    for (const auto &e : entries_) {
+        if (!e.valid)
+            continue;
+        for (uint32_t w = 0; w < config_.wordsPerLine(); ++w) {
+            ++slots;
+            if (e.codes.get(w) != encoding_.nonFrequentCode())
+                ++frequent;
+        }
+    }
+    if (slots == 0)
+        return 0.0;
+    return static_cast<double>(frequent) /
+           static_cast<double>(slots);
+}
+
+uint32_t
+FrequentValueCache::frequentWordCount(
+    const std::vector<Word> &data) const
+{
+    uint32_t n = 0;
+    for (Word v : data) {
+        if (encoding_.isFrequent(v))
+            ++n;
+    }
+    return n;
+}
+
+} // namespace fvc::core

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * FrequentValueCache: the value-centric cache array of Section 3.
+ *
+ * Each entry covers the address range of one DMC line but stores
+ * only b-bit codes per word: a code either names one of the top
+ * frequently accessed values or marks the word as non-frequent.
+ * A 32-byte line thus compresses to e.g. 3 bytes (8 words x 3 bits),
+ * which is how a 1.5 KB FVC "holds 4K frequent values".
+ */
+
+#ifndef FVC_CORE_FVC_CACHE_HH_
+#define FVC_CORE_FVC_CACHE_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/encoding.hh"
+#include "trace/record.hh"
+
+namespace fvc::core {
+
+using trace::Addr;
+
+/** Geometry of an FVC array. */
+struct FvcConfig
+{
+    /** Number of entries (lines); power of two. */
+    uint32_t entries = 512;
+    /** Line size of the companion DMC, in bytes. */
+    uint32_t line_bytes = 32;
+    /** Code width in bits (1 -> top 1 value, 3 -> top 7). */
+    unsigned code_bits = 3;
+    /** Associativity; the paper's FVC is direct mapped. */
+    uint32_t assoc = 1;
+
+    uint32_t wordsPerLine() const
+    {
+        return line_bytes / trace::kWordBytes;
+    }
+    uint32_t sets() const { return entries / assoc; }
+
+    void validate() const;
+
+    /**
+     * Storage cost in bits: per entry, a tag (32 - offset - index
+     * bits), valid + dirty bits, and wordsPerLine() codes.
+     */
+    uint64_t storageBits() const;
+
+    std::string describe() const;
+};
+
+/** A line evicted or merged out of the FVC. */
+struct FvcEvicted
+{
+    Addr base;
+    bool dirty;
+    /** Decoded word values; nullopt where the code was
+     * non-frequent. */
+    std::vector<std::optional<Word>> words;
+};
+
+/**
+ * The FVC array. Pure structure: protocol decisions (when to
+ * insert, how to merge) live in DmcFvcSystem.
+ */
+class FrequentValueCache
+{
+  public:
+    FrequentValueCache(const FvcConfig &config,
+                       FrequentValueEncoding encoding);
+
+    const FvcConfig &config() const { return config_; }
+    const FrequentValueEncoding &encoding() const
+    {
+        return encoding_;
+    }
+
+    /** True iff the entry for @p addr matches its tag. */
+    bool tagMatch(Addr addr) const;
+
+    /**
+     * Read the word at @p addr.
+     *
+     * @return the decoded value if the tag matches and the word's
+     *         code is frequent; nullopt otherwise
+     */
+    std::optional<Word> readWord(Addr addr);
+
+    /**
+     * Write @p value at @p addr if the tag matches and the value is
+     * frequent.
+     *
+     * @retval true the write hit (code updated, line dirty)
+     * @retval false tag mismatch or non-frequent value
+     */
+    bool writeWord(Addr addr, Word value);
+
+    /**
+     * Install the identity of a line: every word that holds a
+     * frequent value is coded, the rest are marked non-frequent.
+     *
+     * @param base line base address
+     * @param data the line's wordsPerLine() values
+     * @param dirty whether the installed codes are newer than memory
+     * @return the displaced entry, if any
+     */
+    std::optional<FvcEvicted> insertLine(
+        Addr base, const std::vector<Word> &data, bool dirty);
+
+    /**
+     * Allocate an entry for a frequent-value write miss: the
+     * written word is coded, all other words marked non-frequent,
+     * entry dirty (Section 3's write-allocation rule).
+     *
+     * @return the displaced entry, if any
+     */
+    std::optional<FvcEvicted> writeAllocate(Addr addr, Word value);
+
+    /** Remove the entry for @p addr if its tag matches. */
+    std::optional<FvcEvicted> invalidate(Addr addr);
+
+    /** Remove every valid entry. */
+    std::vector<FvcEvicted> flush();
+
+    /**
+     * Replace the frequent-value set. All entries must already be
+     * flushed (codes are meaningless under a new mapping); the new
+     * encoding must have the same code width.
+     */
+    void rekey(FrequentValueEncoding encoding);
+
+    /** Number of valid entries. */
+    uint32_t validLines() const;
+
+    /**
+     * Fraction (0..1) of code slots in valid entries that hold
+     * frequent codes — Figure 11's occupancy metric.
+     */
+    double frequentCodeFraction() const;
+
+    /** Count of frequent values a line's data would contribute. */
+    uint32_t frequentWordCount(const std::vector<Word> &data) const;
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t stamp = 0;
+        CodeArray codes;
+
+        Entry(uint32_t words, unsigned bits) : codes(words, bits) {}
+    };
+
+    FvcConfig config_;
+    FrequentValueEncoding encoding_;
+    std::vector<Entry> entries_;
+    uint64_t clock_ = 0;
+
+    unsigned offsetBits() const;
+    unsigned indexBits() const;
+    uint32_t setIndex(Addr addr) const;
+    uint64_t tagOf(Addr addr) const;
+    uint32_t wordOffset(Addr addr) const;
+    Addr baseOf(const Entry &entry, uint32_t set) const;
+
+    Entry *findEntry(Addr addr);
+    const Entry *findEntry(Addr addr) const;
+    Entry &victimEntry(uint32_t set);
+    FvcEvicted extractEntry(Entry &entry, uint32_t set) const;
+};
+
+} // namespace fvc::core
+
+#endif // FVC_CORE_FVC_CACHE_HH_

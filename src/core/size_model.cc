@@ -1,0 +1,66 @@
+#include "core/size_model.hh"
+
+#include "util/bitops.hh"
+
+namespace fvc::core {
+
+StorageBreakdown
+cacheStorage(const cache::CacheConfig &config)
+{
+    StorageBreakdown out;
+    out.name = config.describe();
+    uint64_t lines = config.lines();
+    uint64_t tag_bits =
+        32 - config.offsetBits() - config.indexBits();
+    out.data_bits = 8ull * config.size_bytes;
+    out.tag_bits = tag_bits * lines;
+    out.state_bits = 2 * lines; // valid + dirty
+    return out;
+}
+
+StorageBreakdown
+fvcStorage(const FvcConfig &config)
+{
+    StorageBreakdown out;
+    out.name = config.describe();
+    unsigned offset_bits = util::floorLog2(config.line_bytes);
+    unsigned index_bits = util::floorLog2(config.sets());
+    uint64_t tag_bits = 32 - offset_bits - index_bits;
+    out.data_bits = static_cast<uint64_t>(config.entries) *
+                    config.wordsPerLine() * config.code_bits;
+    out.tag_bits = tag_bits * config.entries;
+    out.state_bits = 2ull * config.entries;
+    return out;
+}
+
+StorageBreakdown
+victimStorage(uint32_t entries, uint32_t line_bytes)
+{
+    StorageBreakdown out;
+    out.name = std::to_string(entries) + "-entry VC";
+    // Fully associative: the tag is the full line address.
+    uint64_t tag_bits = 32 - util::floorLog2(line_bytes);
+    out.data_bits = 8ull * line_bytes * entries;
+    out.tag_bits = tag_bits * entries;
+    out.state_bits = 2ull * entries;
+    return out;
+}
+
+double
+compressionFactor(const FvcConfig &config, double frequent_fraction)
+{
+    double code_bytes =
+        static_cast<double>(config.wordsPerLine()) *
+        config.code_bits / 8.0;
+    return static_cast<double>(config.line_bytes) / code_bytes *
+           frequent_fraction;
+}
+
+double
+fvcDataKilobytes(const FvcConfig &config)
+{
+    return static_cast<double>(config.entries) *
+           config.wordsPerLine() * config.code_bits / 8.0 / 1024.0;
+}
+
+} // namespace fvc::core

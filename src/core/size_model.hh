@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Storage cost accounting for equal-budget comparisons between
+ * DMCs, FVCs, and victim caches (Figure 15's first experiment pairs
+ * a 128-entry FVC with a 16-entry VC because their bit costs are
+ * nearly equal once tags are counted).
+ */
+
+#ifndef FVC_CORE_SIZE_MODEL_HH_
+#define FVC_CORE_SIZE_MODEL_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "cache/config.hh"
+#include "core/fvc_cache.hh"
+
+namespace fvc::core {
+
+/** Bit-level storage breakdown of one structure. */
+struct StorageBreakdown
+{
+    std::string name;
+    uint64_t data_bits = 0;
+    uint64_t tag_bits = 0;
+    uint64_t state_bits = 0;
+
+    uint64_t totalBits() const
+    {
+        return data_bits + tag_bits + state_bits;
+    }
+    double totalKilobytes() const
+    {
+        return static_cast<double>(totalBits()) / 8192.0;
+    }
+};
+
+/** Storage of a conventional cache (32-bit address space). */
+StorageBreakdown cacheStorage(const cache::CacheConfig &config);
+
+/** Storage of an FVC array. */
+StorageBreakdown fvcStorage(const FvcConfig &config);
+
+/** Storage of a fully-associative victim cache. */
+StorageBreakdown victimStorage(uint32_t entries, uint32_t line_bytes);
+
+/**
+ * Effective capacity amplification of an FVC versus a DMC holding
+ * the same values: (line_bytes / code_bytes) x occupied fraction —
+ * the paper's 4.27x figure for 32-byte lines, 3-bit codes, and 40%
+ * occupancy.
+ */
+double compressionFactor(const FvcConfig &config,
+                         double frequent_fraction);
+
+/**
+ * The FVC "data size" label used in the paper's tables, where a
+ * 512-entry, 8-words-per-line, 3-bit FVC is called "1.5Kb": entries
+ * x words-per-line x code_bits, in kilobytes.
+ */
+double fvcDataKilobytes(const FvcConfig &config);
+
+} // namespace fvc::core
+
+#endif // FVC_CORE_SIZE_MODEL_HH_

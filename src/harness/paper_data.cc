@@ -1,0 +1,65 @@
+#include "harness/paper_data.hh"
+
+namespace fvc::harness {
+
+const std::vector<ConstancyRef> &
+paperTable4()
+{
+    static const std::vector<ConstancyRef> data = {
+        {"099.go", 78.2},      {"124.m88ksim", 99.3},
+        {"126.gcc", 61.8},     {"130.li", 28.8},
+        {"134.perl", 80.4},    {"147.vortex", 79.9},
+        {"129.compress", 3.2}, {"132.ijpeg", 6.7},
+    };
+    return data;
+}
+
+const std::vector<Fig13Row> &
+paperFig13()
+{
+    // Figure 13 of the paper, 7-frequent-value rows (the richest
+    // configuration); miss rates in percent.
+    static const std::vector<Fig13Row> data = {
+        // line = 2 words
+        {"124.m88ksim", 2, 7, 4, 1.132, 8, 1.841},
+        {"134.perl", 2, 7, 4, 4.090, 8, 5.209},
+        // line = 4 words
+        {"124.m88ksim", 4, 7, 8, 0.701, 16, 1.101},
+        {"134.perl", 4, 7, 8, 3.361, 16, 3.524},
+        {"124.m88ksim", 4, 7, 16, 0.577, 32, 1.050},
+        {"134.perl", 4, 7, 16, 2.687, 32, 3.502},
+        {"124.m88ksim", 4, 7, 32, 0.548, 64, 1.050},
+        {"134.perl", 4, 7, 32, 2.672, 64, 3.502},
+        // line = 8 words
+        {"124.m88ksim", 8, 7, 16, 0.385, 32, 0.853},
+        {"134.perl", 8, 7, 16, 2.685, 32, 3.829},
+        {"124.m88ksim", 8, 7, 32, 0.346, 64, 0.853},
+        {"134.perl", 8, 7, 32, 2.668, 64, 3.829},
+        // line = 16 words
+        {"124.m88ksim", 16, 7, 32, 0.246, 64, 0.757},
+        {"134.perl", 16, 7, 32, 2.170, 64, 2.834},
+    };
+    return data;
+}
+
+const std::vector<StabilityRef> &
+paperTable3()
+{
+    static const std::vector<StabilityRef> data = {
+        {"099.go", 0.0, 0.07, 0.5},
+        {"124.m88ksim", 0.0, 63.0, 70.0},
+        {"126.gcc", 0.0, 10.0, 18.0},
+        {"130.li", 0.0, 0.3, 0.3},
+        {"134.perl", 0.0, 0.3, 0.4},
+        {"147.vortex", 0.0, 9.0, 29.0},
+    };
+    return data;
+}
+
+HeadlineClaim
+paperHeadline()
+{
+    return {1.0, 68.0};
+}
+
+} // namespace fvc::harness

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Reference numbers reported by the paper, used by the bench
+ * binaries to print paper-vs-measured comparisons (the shapes
+ * should match; absolute values differ because the substrate is a
+ * synthetic workload, not the authors' SPEC95 traces).
+ */
+
+#ifndef FVC_HARNESS_PAPER_DATA_HH_
+#define FVC_HARNESS_PAPER_DATA_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace fvc::harness {
+
+/** Table 4: percentage of referenced addresses that stay constant. */
+struct ConstancyRef
+{
+    std::string benchmark;
+    double constant_percent;
+};
+
+const std::vector<ConstancyRef> &paperTable4();
+
+/**
+ * Figure 13: miss rates (%) for m88ksim and perl across DMC sizes
+ * and line sizes, with and without a 512-entry FVC.
+ */
+struct Fig13Row
+{
+    std::string benchmark;
+    unsigned line_words;   // 2, 4, 8, or 16
+    unsigned values;       // 1, 3, or 7 frequent values
+    unsigned dmc_kb;       // DMC size with FVC attached
+    double with_fvc;       // % misses of DMC + FVC
+    unsigned bigger_dmc_kb;// the doubled DMC it is compared to
+    double bigger_dmc;     // % misses of the doubled DMC alone
+};
+
+const std::vector<Fig13Row> &paperFig13();
+
+/** Table 3 reference: % of execution to find top 1/3/7 values. */
+struct StabilityRef
+{
+    std::string benchmark;
+    double top1_percent;
+    double top3_percent;
+    double top7_percent;
+};
+
+const std::vector<StabilityRef> &paperTable3();
+
+/** Headline claim: miss-rate reductions range 1%..68%. */
+struct HeadlineClaim
+{
+    double min_reduction_percent;
+    double max_reduction_percent;
+};
+
+HeadlineClaim paperHeadline();
+
+} // namespace fvc::harness
+
+#endif // FVC_HARNESS_PAPER_DATA_HH_

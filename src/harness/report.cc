@@ -1,0 +1,27 @@
+#include "harness/report.hh"
+
+#include <cstdio>
+
+namespace fvc::harness {
+
+void
+banner(const std::string &experiment_id, const std::string &title)
+{
+    std::string line(72, '=');
+    std::printf("%s\n%s: %s\n%s\n", line.c_str(),
+                experiment_id.c_str(), title.c_str(), line.c_str());
+}
+
+void
+note(const std::string &text)
+{
+    std::printf("  note: %s\n", text.c_str());
+}
+
+void
+section(const std::string &text)
+{
+    std::printf("\n--- %s ---\n", text.c_str());
+}
+
+} // namespace fvc::harness

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Report helpers: consistent experiment banners and paper-vs-
+ * measured annotations for the bench binaries.
+ */
+
+#ifndef FVC_HARNESS_REPORT_HH_
+#define FVC_HARNESS_REPORT_HH_
+
+#include <string>
+
+namespace fvc::harness {
+
+/** Print a titled banner for one experiment. */
+void banner(const std::string &experiment_id,
+            const std::string &title);
+
+/** Print a short note (paper expectation, caveat, ...). */
+void note(const std::string &text);
+
+/** Print a section heading within an experiment. */
+void section(const std::string &text);
+
+} // namespace fvc::harness
+
+#endif // FVC_HARNESS_REPORT_HH_

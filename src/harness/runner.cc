@@ -1,0 +1,81 @@
+#include "harness/runner.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace fvc::harness {
+
+PreparedTrace
+prepareTrace(const workload::BenchmarkProfile &profile,
+             uint64_t accesses, uint64_t seed, size_t top_k)
+{
+    PreparedTrace out;
+    out.name = profile.name;
+
+    workload::SyntheticWorkload gen(profile, accesses, seed);
+    profiling::AccessProfiler profiler({1});
+    out.records.reserve(accesses + accesses / 8);
+
+    trace::MemRecord rec;
+    while (gen.next(rec)) {
+        out.records.push_back(rec);
+        profiler.observe(rec);
+    }
+    out.instructions = gen.currentIcount();
+    out.frequent_values = profiler.topKValues(top_k);
+    out.initial_image = gen.initialImage();
+    out.final_image = gen.memory();
+    return out;
+}
+
+void
+replay(const PreparedTrace &trace, cache::CacheSystem &system)
+{
+    // Install the preload image: the memory state the program built
+    // before the traced window.
+    memmodel::FunctionalMemory &image = system.memoryImage();
+    trace.initial_image.forEachInteresting(
+        [&](trace::Addr addr, trace::Word value) {
+            image.write(addr, value);
+        });
+    for (const auto &rec : trace.records)
+        system.consume(rec);
+    system.flush();
+}
+
+double
+dmcMissRate(const PreparedTrace &trace,
+            const cache::CacheConfig &config)
+{
+    cache::DmcSystem system(config);
+    replay(trace, system);
+    return system.stats().missRatePercent();
+}
+
+std::unique_ptr<core::DmcFvcSystem>
+runDmcFvc(const PreparedTrace &trace,
+          const cache::CacheConfig &dmc_config,
+          const core::FvcConfig &fvc_config)
+{
+    core::FrequentValueEncoding encoding(trace.frequent_values,
+                                         fvc_config.code_bits);
+    auto system = std::make_unique<core::DmcFvcSystem>(
+        dmc_config, fvc_config, std::move(encoding));
+    replay(trace, *system);
+    return system;
+}
+
+uint64_t
+defaultTraceAccesses()
+{
+    if (const char *env = std::getenv("FVC_TRACE_ACCESSES")) {
+        uint64_t v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+        fvc_warn("ignoring bad FVC_TRACE_ACCESSES value: ", env);
+    }
+    return 2000000;
+}
+
+} // namespace fvc::harness

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment runner: glue for generating a workload trace once and
+ * simulating it through one or more cache systems.
+ */
+
+#ifndef FVC_HARNESS_RUNNER_HH_
+#define FVC_HARNESS_RUNNER_HH_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_system.hh"
+#include "core/dmc_fvc_system.hh"
+#include "profiling/access_profiler.hh"
+#include "workload/generator.hh"
+
+namespace fvc::harness {
+
+/** A generated trace held in memory, with its profiling results. */
+struct PreparedTrace
+{
+    std::string name;
+    std::vector<trace::MemRecord> records;
+    /** Top frequently accessed values, most frequent first. */
+    std::vector<trace::Word> frequent_values;
+    /** Memory contents at trace start (the preload image). */
+    memmodel::FunctionalMemory initial_image;
+    /** Memory contents after the whole trace (ground truth). */
+    memmodel::FunctionalMemory final_image;
+    uint64_t instructions = 0;
+};
+
+/**
+ * Generate @p accesses records of @p profile, profile the accessed
+ * values, and keep the records for replay.
+ *
+ * The paper finds frequent values via a profiling run and then
+ * fixes them for the cache experiment; using the same trace for
+ * both is the trace-driven equivalent.
+ *
+ * @param top_k how many frequent values to extract
+ */
+PreparedTrace prepareTrace(const workload::BenchmarkProfile &profile,
+                           uint64_t accesses, uint64_t seed = 1,
+                           size_t top_k = 10);
+
+/** Replay a prepared trace through a cache system (with flush). */
+void replay(const PreparedTrace &trace, cache::CacheSystem &system);
+
+/** Shorthand: run a bare DMC and return its miss-rate percent. */
+double dmcMissRate(const PreparedTrace &trace,
+                   const cache::CacheConfig &config);
+
+/**
+ * Shorthand: run DMC + FVC using the trace's profiled values
+ * truncated to the encoding capacity; returns the system for stats
+ * inspection.
+ */
+std::unique_ptr<core::DmcFvcSystem>
+runDmcFvc(const PreparedTrace &trace,
+          const cache::CacheConfig &dmc_config,
+          const core::FvcConfig &fvc_config);
+
+/** The standard experiment trace length (accesses). Overridable via
+ * the FVC_TRACE_ACCESSES environment variable for quick runs. */
+uint64_t defaultTraceAccesses();
+
+} // namespace fvc::harness
+
+#endif // FVC_HARNESS_RUNNER_HH_

@@ -1,0 +1,71 @@
+#include "profiling/access_profiler.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fvc::profiling {
+
+AccessProfiler::AccessProfiler(std::vector<size_t> tracked_ks)
+{
+    for (size_t k : tracked_ks)
+        tracked_.push_back({k, {}, 0, 0});
+}
+
+void
+AccessProfiler::observe(const trace::MemRecord &rec)
+{
+    if (!rec.isAccess())
+        return;
+    table_.add(rec.value);
+    ++accesses_;
+    last_icount_ = rec.icount;
+
+    if (accesses_ % kCheckInterval != 0)
+        return;
+    for (auto &t : tracked_) {
+        std::vector<Word> now = topKValues(t.k);
+        if (now == t.last_order) {
+            continue;
+        }
+        // Ordered list changed; did the set change too?
+        std::vector<Word> a = now, b = t.last_order;
+        std::sort(a.begin(), a.end());
+        std::sort(b.begin(), b.end());
+        if (a != b)
+            t.set_changed_at = rec.icount;
+        t.order_changed_at = rec.icount;
+        t.last_order = std::move(now);
+    }
+}
+
+std::vector<Word>
+AccessProfiler::topKValues(size_t k) const
+{
+    std::vector<Word> out;
+    for (const auto &vc : table_.topK(k))
+        out.push_back(vc.value);
+    return out;
+}
+
+uint64_t
+AccessProfiler::lastOrderChange(size_t k) const
+{
+    for (const auto &t : tracked_) {
+        if (t.k == k)
+            return t.order_changed_at;
+    }
+    fvc_panic("k=", k, " was not tracked");
+}
+
+uint64_t
+AccessProfiler::lastSetChange(size_t k) const
+{
+    for (const auto &t : tracked_) {
+        if (t.k == k)
+            return t.set_changed_at;
+    }
+    fvc_panic("k=", k, " was not tracked");
+}
+
+} // namespace fvc::profiling

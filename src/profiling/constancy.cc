@@ -1,0 +1,74 @@
+#include "profiling/constancy.hh"
+
+#include "memmodel/functional_memory.hh"
+#include "util/stats.hh"
+
+namespace fvc::profiling {
+
+void
+ConstancyTracker::observe(const trace::MemRecord &rec)
+{
+    using trace::Op;
+    if (rec.op == Op::Free) {
+        // Retire every touched word in the region: its instance is
+        // complete, and any future touch is a new instance.
+        uint64_t base = trace::wordIndex(rec.addr);
+        uint64_t words = rec.value / trace::kWordBytes;
+        for (uint64_t w = 0; w < words; ++w) {
+            ++epochs_[base + w];
+            auto it = states_.find(base + w);
+            if (it == states_.end())
+                continue;
+            ++retired_total_;
+            if (!it->second.changed)
+                ++retired_constant_;
+            states_.erase(it);
+        }
+        return;
+    }
+    if (rec.op == Op::Alloc)
+        return;
+
+    uint64_t word = trace::wordIndex(rec.addr);
+    State &st = states_[word];
+    if (!st.has_value) {
+        // First reference of this instance. In the word's first
+        // allocation epoch the pre-existing (preload) value counts
+        // as the established one, so an overwriting first store is
+        // already a change; in later epochs (fresh allocations) the
+        // first reference itself establishes the value.
+        if (initial_image_ && !epochs_.count(word) &&
+            initial_image_->isReferenced(rec.addr)) {
+            st.value = initial_image_->read(rec.addr);
+            st.has_value = true;
+            if (rec.op == Op::Store && rec.value != st.value)
+                st.changed = true;
+            return;
+        }
+        st.value = rec.value;
+        st.has_value = true;
+        return;
+    }
+    if (rec.op == Op::Store && rec.value != st.value)
+        st.changed = true;
+}
+
+uint64_t
+ConstancyTracker::constantInstances() const
+{
+    uint64_t n = retired_constant_;
+    for (const auto &[word, st] : states_) {
+        if (!st.changed)
+            ++n;
+    }
+    return n;
+}
+
+double
+ConstancyTracker::constantPercent() const
+{
+    uint64_t total = retired_total_ + states_.size();
+    return util::percent(constantInstances(), total);
+}
+
+} // namespace fvc::profiling

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ConstancyTracker: percentage of referenced addresses whose
+ * contents never change during execution (Table 4). Locations
+ * reallocated (freed and allocated again) are treated as fresh
+ * addresses, as in the paper.
+ */
+
+#ifndef FVC_PROFILING_CONSTANCY_HH_
+#define FVC_PROFILING_CONSTANCY_HH_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memmodel/functional_memory.hh"
+#include "trace/record.hh"
+
+namespace fvc::profiling {
+
+/** Tracks per-(address, allocation-epoch) value constancy. */
+class ConstancyTracker
+{
+  public:
+    ConstancyTracker() = default;
+
+    /**
+     * @param initial_image memory contents at trace start; when
+     * given, a word's first-epoch value is established from the
+     * image, so a store that overwrites pre-existing data counts
+     * as a change (as it would in the paper's whole-program study).
+     */
+    explicit ConstancyTracker(
+        const memmodel::FunctionalMemory *initial_image)
+        : initial_image_(initial_image)
+    {}
+
+    /** Account for one record (handles Alloc/Free epochs). */
+    void observe(const trace::MemRecord &rec);
+
+    /** Number of distinct (address, epoch) instances referenced. */
+    uint64_t instances() const { return states_.size(); }
+
+    /** Instances whose value never changed once established. */
+    uint64_t constantInstances() const;
+
+    /** Percentage of constant instances (Table 4's metric). */
+    double constantPercent() const;
+
+  private:
+    struct State
+    {
+        trace::Word value = 0;
+        bool has_value = false;
+        bool changed = false;
+    };
+
+    const memmodel::FunctionalMemory *initial_image_ = nullptr;
+    /** Key: word index; epoch changes rewrite the slot. */
+    std::unordered_map<uint64_t, State> states_;
+    /** Words whose first allocation epoch has passed (freed once). */
+    std::unordered_map<uint64_t, uint32_t> epochs_;
+    /** Retired (freed) instance tallies. */
+    uint64_t retired_total_ = 0;
+    uint64_t retired_constant_ = 0;
+};
+
+} // namespace fvc::profiling
+
+#endif // FVC_PROFILING_CONSTANCY_HH_

@@ -1,0 +1,51 @@
+#include "profiling/miss_classifier.hh"
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace fvc::profiling {
+
+MissClassifier::MissClassifier(uint32_t lines, uint32_t line_bytes)
+    : lines_(lines), line_bytes_(line_bytes)
+{
+    fvc_assert(lines > 0 && util::isPowerOf2(line_bytes),
+               "bad classifier geometry");
+}
+
+trace::Addr
+MissClassifier::lineBase(trace::Addr addr) const
+{
+    return static_cast<trace::Addr>(
+        util::alignDown(addr, line_bytes_));
+}
+
+MissClass
+MissClassifier::classify(trace::Addr addr) const
+{
+    trace::Addr base = lineBase(addr);
+    if (!seen_.count(base))
+        return MissClass::Compulsory;
+    if (where_.count(base))
+        return MissClass::Conflict;
+    return MissClass::Capacity;
+}
+
+void
+MissClassifier::observe(trace::Addr addr)
+{
+    trace::Addr base = lineBase(addr);
+    seen_.insert(base);
+    auto it = where_.find(base);
+    if (it != where_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(base);
+    where_[base] = lru_.begin();
+    if (lru_.size() > lines_) {
+        where_.erase(lru_.back());
+        lru_.pop_back();
+    }
+}
+
+} // namespace fvc::profiling

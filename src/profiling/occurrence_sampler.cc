@@ -1,0 +1,67 @@
+#include "profiling/occurrence_sampler.hh"
+
+namespace fvc::profiling {
+
+OccurrenceSampler::OccurrenceSampler(uint64_t interval)
+    : interval_(interval ? interval : 1), next_sample_(interval_)
+{
+}
+
+void
+OccurrenceSampler::maybeSample(
+    const memmodel::FunctionalMemory &memory, uint64_t icount)
+{
+    if (icount < next_sample_)
+        return;
+    sample(memory, icount);
+    while (next_sample_ <= icount)
+        next_sample_ += interval_;
+}
+
+void
+OccurrenceSampler::sample(const memmodel::FunctionalMemory &memory,
+                          uint64_t icount)
+{
+    ValueCounterTable snap;
+    memory.forEachInteresting(
+        [&](memmodel::Addr, memmodel::Word value) {
+            snap.add(value);
+            table_.add(value);
+        });
+
+    OccurrenceSample s;
+    s.icount = icount;
+    s.total_locations = snap.total();
+    s.distinct_values = snap.distinct();
+    s.top1 = snap.topKMass(1);
+    s.top3 = snap.topKMass(3);
+    s.top7 = snap.topKMass(7);
+    s.top10 = snap.topKMass(10);
+    samples_.push_back(s);
+    snapshot_tables_.push_back(std::move(snap));
+}
+
+double
+OccurrenceSampler::averageTopKFraction(size_t k) const
+{
+    if (snapshot_tables_.empty())
+        return 0.0;
+    // Rank values by cumulative occupancy, then average each
+    // snapshot's occupancy fraction of that fixed top-k set. This
+    // mirrors the paper: one global "frequently occurring" list,
+    // occupancy averaged over samples.
+    auto top = table_.topK(k);
+    double sum = 0.0;
+    for (const auto &snap : snapshot_tables_) {
+        if (snap.total() == 0)
+            continue;
+        uint64_t mass = 0;
+        for (const auto &vc : top)
+            mass += snap.countOf(vc.value);
+        sum += static_cast<double>(mass) /
+               static_cast<double>(snap.total());
+    }
+    return sum / static_cast<double>(snapshot_tables_.size());
+}
+
+} // namespace fvc::profiling

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * OccurrenceSampler: frequently *occurring* values.
+ *
+ * The paper samples the contents of all referenced ("interesting")
+ * memory locations every 10 million instructions and averages the
+ * per-value occupancy over all samples (Section 2, Figures 1-3).
+ */
+
+#ifndef FVC_PROFILING_OCCURRENCE_SAMPLER_HH_
+#define FVC_PROFILING_OCCURRENCE_SAMPLER_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "memmodel/functional_memory.hh"
+#include "profiling/value_table.hh"
+
+namespace fvc::profiling {
+
+/** One memory snapshot's summary. */
+struct OccurrenceSample
+{
+    uint64_t icount;
+    uint64_t total_locations;
+    /** Locations holding the top-1, top-3, top-7, top-10 values
+     * (computed against the cumulative occurrence ranking). */
+    uint64_t top1, top3, top7, top10;
+    uint64_t distinct_values;
+};
+
+/**
+ * Periodically scans a FunctionalMemory and accumulates per-value
+ * occupancy counts.
+ */
+class OccurrenceSampler
+{
+  public:
+    /** @param interval instructions between snapshots (paper: 10M). */
+    explicit OccurrenceSampler(uint64_t interval = 10000000);
+
+    /**
+     * Called with the current instruction count after each record;
+     * takes a snapshot whenever @p icount crosses the interval.
+     */
+    void maybeSample(const memmodel::FunctionalMemory &memory,
+                     uint64_t icount);
+
+    /** Force a snapshot now (used at end of trace). */
+    void sample(const memmodel::FunctionalMemory &memory,
+                uint64_t icount);
+
+    /** Cumulative occupancy counts summed over all snapshots. */
+    const ValueCounterTable &cumulative() const { return table_; }
+
+    /** Average fraction of locations holding the top-k values. */
+    double averageTopKFraction(size_t k) const;
+
+    size_t sampleCount() const { return samples_.size(); }
+    const std::vector<OccurrenceSample> &samples() const
+    {
+        return samples_;
+    }
+
+  private:
+    uint64_t interval_;
+    uint64_t next_sample_ = 0;
+    ValueCounterTable table_;
+    std::vector<OccurrenceSample> samples_;
+    /** Per-snapshot tables retained for averaging. */
+    std::vector<ValueCounterTable> snapshot_tables_;
+};
+
+} // namespace fvc::profiling
+
+#endif // FVC_PROFILING_OCCURRENCE_SAMPLER_HH_

@@ -1,0 +1,78 @@
+#include "profiling/uniformity.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.hh"
+
+namespace fvc::profiling {
+
+std::vector<BlockUniformity>
+analyzeUniformity(const memmodel::FunctionalMemory &memory,
+                  const std::vector<trace::Word> &frequent,
+                  uint32_t block_words, uint32_t line_words)
+{
+    fvc_assert(block_words > 0 && line_words > 0,
+               "bad uniformity geometry");
+    std::unordered_set<trace::Word> fset(frequent.begin(),
+                                         frequent.end());
+
+    struct Accum
+    {
+        uint32_t words = 0;
+        uint32_t frequent = 0;
+    };
+    // block base word -> per-line accumulation.
+    std::map<uint64_t, std::map<uint64_t, Accum>> blocks;
+
+    memory.forEachInteresting(
+        [&](memmodel::Addr addr, memmodel::Word value) {
+            uint64_t word = trace::wordIndex(addr);
+            uint64_t block = word / block_words;
+            uint64_t line = (word % block_words) / line_words;
+            Accum &a = blocks[block][line];
+            ++a.words;
+            if (fset.count(value))
+                ++a.frequent;
+        });
+
+    std::vector<BlockUniformity> out;
+    for (const auto &[block, lines] : blocks) {
+        double sum = 0.0;
+        for (const auto &[line, acc] : lines)
+            sum += acc.frequent;
+        uint32_t present = 0;
+        for (const auto &[line, acc] : lines)
+            present += acc.words;
+        BlockUniformity bu;
+        bu.block_base_word = block * block_words;
+        bu.words_present = present;
+        bu.avg_frequent_per_line =
+            lines.empty() ? 0.0
+                          : sum / static_cast<double>(lines.size());
+        out.push_back(bu);
+    }
+    return out;
+}
+
+UniformitySummary
+summarizeUniformity(const std::vector<BlockUniformity> &blocks)
+{
+    UniformitySummary s{0.0, 0.0, blocks.size()};
+    if (blocks.empty())
+        return s;
+    double sum = 0.0;
+    for (const auto &b : blocks)
+        sum += b.avg_frequent_per_line;
+    s.mean = sum / static_cast<double>(blocks.size());
+    double var = 0.0;
+    for (const auto &b : blocks) {
+        double d = b.avg_frequent_per_line - s.mean;
+        var += d * d;
+    }
+    s.stddev = std::sqrt(var / static_cast<double>(blocks.size()));
+    return s;
+}
+
+} // namespace fvc::profiling

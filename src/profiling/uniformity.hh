@@ -1,0 +1,62 @@
+/**
+ * @file
+ * UniformityAnalyzer: Figure 5's study of how evenly frequent
+ * values are spread across memory. The referenced memory is cut
+ * into blocks of 800 consecutive words (100 lines of 8 words) and
+ * the average number of frequent values per line is computed for
+ * each block.
+ */
+
+#ifndef FVC_PROFILING_UNIFORMITY_HH_
+#define FVC_PROFILING_UNIFORMITY_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "memmodel/functional_memory.hh"
+#include "trace/record.hh"
+
+namespace fvc::profiling {
+
+/** Result for one 800-word block. */
+struct BlockUniformity
+{
+    /** Base word index of the block. */
+    uint64_t block_base_word;
+    /** Interesting words in the block. */
+    uint32_t words_present;
+    /** Average frequent values per 8-word line within the block. */
+    double avg_frequent_per_line;
+};
+
+/**
+ * Analyze a memory snapshot.
+ *
+ * @param memory the snapshot
+ * @param frequent the frequent value set to count
+ * @param block_words block size in words (paper: 800)
+ * @param line_words words per line (paper: 8)
+ * @return one entry per touched block, in ascending address order
+ */
+std::vector<BlockUniformity>
+analyzeUniformity(const memmodel::FunctionalMemory &memory,
+                  const std::vector<trace::Word> &frequent,
+                  uint32_t block_words = 800,
+                  uint32_t line_words = 8);
+
+/** Mean and stddev of avg_frequent_per_line across blocks. */
+struct UniformitySummary
+{
+    double mean;
+    double stddev;
+    size_t blocks;
+};
+
+UniformitySummary
+summarizeUniformity(const std::vector<BlockUniformity> &blocks);
+
+} // namespace fvc::profiling
+
+#endif // FVC_PROFILING_UNIFORMITY_HH_

@@ -1,0 +1,118 @@
+#include "profiling/value_table.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fvc::profiling {
+
+void
+ValueCounterTable::add(Word value, uint64_t weight)
+{
+    counts_[value] += weight;
+    total_ += weight;
+}
+
+uint64_t
+ValueCounterTable::countOf(Word value) const
+{
+    auto it = counts_.find(value);
+    return it == counts_.end() ? 0 : it->second;
+}
+
+std::vector<ValueCount>
+ValueCounterTable::topK(size_t k) const
+{
+    std::vector<ValueCount> all;
+    all.reserve(counts_.size());
+    for (const auto &[value, count] : counts_)
+        all.push_back({value, count});
+    auto cmp = [](const ValueCount &a, const ValueCount &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.value < b.value;
+    };
+    if (all.size() > k) {
+        std::partial_sort(all.begin(), all.begin() + k, all.end(),
+                          cmp);
+        all.resize(k);
+    } else {
+        std::sort(all.begin(), all.end(), cmp);
+    }
+    return all;
+}
+
+uint64_t
+ValueCounterTable::topKMass(size_t k) const
+{
+    uint64_t mass = 0;
+    for (const auto &vc : topK(k))
+        mass += vc.count;
+    return mass;
+}
+
+void
+ValueCounterTable::clear()
+{
+    counts_.clear();
+    total_ = 0;
+}
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity)
+    : capacity_(capacity)
+{
+    fvc_assert(capacity > 0, "sketch capacity must be positive");
+    entries_.reserve(capacity);
+}
+
+size_t
+SpaceSavingSketch::minEntry() const
+{
+    size_t best = 0;
+    for (size_t i = 1; i < entries_.size(); ++i) {
+        if (entries_[i].count < entries_[best].count)
+            best = i;
+    }
+    return best;
+}
+
+void
+SpaceSavingSketch::add(Word value)
+{
+    ++total_;
+    auto it = index_.find(value);
+    if (it != index_.end()) {
+        ++entries_[it->second].count;
+        return;
+    }
+    if (entries_.size() < capacity_) {
+        index_[value] = entries_.size();
+        entries_.push_back({value, 1, 0});
+        return;
+    }
+    // Replace the minimum-count entry, inheriting its count as the
+    // classic Space-Saving overestimate.
+    size_t victim = minEntry();
+    index_.erase(entries_[victim].value);
+    uint64_t base = entries_[victim].count;
+    entries_[victim] = {value, base + 1, base};
+    index_[value] = victim;
+}
+
+std::vector<ValueCount>
+SpaceSavingSketch::topK(size_t k) const
+{
+    std::vector<Entry> sorted = entries_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.count != b.count)
+                      return a.count > b.count;
+                  return a.value < b.value;
+              });
+    std::vector<ValueCount> out;
+    for (size_t i = 0; i < sorted.size() && i < k; ++i)
+        out.push_back({sorted[i].value, sorted[i].count});
+    return out;
+}
+
+} // namespace fvc::profiling

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Value frequency counting: an exact table and an online bounded
+ * sketch (Space-Saving) for the "fast method for identifying the
+ * frequently accessed values" the paper calls for in Section 2.
+ */
+
+#ifndef FVC_PROFILING_VALUE_TABLE_HH_
+#define FVC_PROFILING_VALUE_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace fvc::profiling {
+
+using trace::Word;
+
+/** A value with its observed count. */
+struct ValueCount
+{
+    Word value;
+    uint64_t count;
+
+    bool operator==(const ValueCount &) const = default;
+};
+
+/**
+ * Exact value-frequency counter backed by a hash map.
+ *
+ * Memory grows with the number of distinct values; the synthetic
+ * workloads keep that bounded, and the paper's own study also
+ * counted exactly (post-mortem over the full trace).
+ */
+class ValueCounterTable
+{
+  public:
+    /** Add @p weight observations of @p value. */
+    void add(Word value, uint64_t weight = 1);
+
+    /** Number of distinct values seen. */
+    uint64_t distinct() const { return counts_.size(); }
+
+    /** Total observations. */
+    uint64_t total() const { return total_; }
+
+    /** Observations of one value (0 if never seen). */
+    uint64_t countOf(Word value) const;
+
+    /**
+     * The @p k most frequent values, ordered by decreasing count;
+     * ties broken by ascending value for determinism.
+     */
+    std::vector<ValueCount> topK(size_t k) const;
+
+    /** Sum of the counts of the top @p k values. */
+    uint64_t topKMass(size_t k) const;
+
+    void clear();
+
+  private:
+    std::unordered_map<Word, uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Space-Saving sketch (Metwally et al.): tracks approximately the
+ * heaviest values using a fixed number of counters. This is the
+ * kind of cheap online profiler one would actually build into
+ * hardware or a profiling run to find the FVC's value set.
+ */
+class SpaceSavingSketch
+{
+  public:
+    /** @param capacity number of monitored values (e.g. 64). */
+    explicit SpaceSavingSketch(size_t capacity);
+
+    void add(Word value);
+
+    /** Estimated top-k (may overestimate counts; never misses a
+     * value whose true count exceeds total/capacity). */
+    std::vector<ValueCount> topK(size_t k) const;
+
+    uint64_t total() const { return total_; }
+    size_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        Word value;
+        uint64_t count;
+        uint64_t error;
+    };
+
+    size_t capacity_;
+    uint64_t total_ = 0;
+    std::vector<Entry> entries_;
+    std::unordered_map<Word, size_t> index_;
+
+    size_t minEntry() const;
+};
+
+} // namespace fvc::profiling
+
+#endif // FVC_PROFILING_VALUE_TABLE_HH_

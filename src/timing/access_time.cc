@@ -1,0 +1,125 @@
+#include "timing/access_time.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace fvc::timing {
+
+const TechParams &
+tech080um()
+{
+    static const TechParams params{};
+    return params;
+}
+
+namespace {
+
+/**
+ * Fold a (rows x row_bits) array toward a square-ish aspect ratio:
+ * halve rows / double width while rows > 4 x width-in-cells, and
+ * vice versa. Mirrors the organization freedom CACTI's Ndwl/Ndbl
+ * search exploits, without the exhaustive search.
+ */
+void
+foldGeometry(uint64_t &rows, uint64_t &row_bits)
+{
+    rows = std::max<uint64_t>(rows, 1);
+    row_bits = std::max<uint64_t>(row_bits, 1);
+    while (rows >= 4 * row_bits && rows > 1) {
+        rows /= 2;
+        row_bits *= 2;
+    }
+    while (row_bits >= 8 * rows && row_bits > 8) {
+        row_bits /= 2;
+        rows *= 2;
+    }
+}
+
+} // namespace
+
+AccessTime
+arrayAccessTime(const ArrayGeometry &geometry, const TechParams &tech)
+{
+    AccessTime t;
+    t.base_ns = tech.base_ns;
+
+    uint64_t rows = geometry.rows;
+    uint64_t row_bits = geometry.row_bits;
+    foldGeometry(rows, row_bits);
+
+    double row_addr_bits =
+        rows > 1 ? std::log2(static_cast<double>(rows)) : 0.0;
+    t.decode_ns = tech.decode_per_rowbit_ns * row_addr_bits;
+    t.wordline_ns =
+        tech.wordline_per_col_ns * static_cast<double>(row_bits);
+    t.bitline_ns =
+        tech.bitline_per_row_ns * static_cast<double>(rows);
+    t.sense_ns = tech.sense_ns;
+    t.compare_ns = tech.compare_per_bit_ns * geometry.tag_bits;
+    if (geometry.assoc > 1) {
+        t.mux_ns = tech.mux_per_waybit_ns *
+                   std::log2(static_cast<double>(geometry.assoc));
+    }
+    if (geometry.cam_entries > 0) {
+        t.cam_ns = tech.cam_base_ns +
+                   tech.cam_per_entry_ns *
+                       static_cast<double>(geometry.cam_entries);
+    }
+    if (geometry.fv_decode)
+        t.fv_decode_ns = tech.fv_decode_ns;
+    return t;
+}
+
+AccessTime
+cacheAccessTime(const cache::CacheConfig &config,
+                const TechParams &tech)
+{
+    ArrayGeometry g;
+    g.rows = config.sets();
+    // A set's row holds every way's line plus its tag.
+    unsigned tag_bits =
+        32 - config.offsetBits() - config.indexBits();
+    g.row_bits = static_cast<uint64_t>(config.assoc) *
+                 (8ull * config.line_bytes + tag_bits + 2);
+    g.tag_bits = tag_bits;
+    g.assoc = config.assoc;
+    return arrayAccessTime(g, tech);
+}
+
+AccessTime
+fvcAccessTime(const core::FvcConfig &config, const TechParams &tech)
+{
+    ArrayGeometry g;
+    g.rows = config.sets();
+    unsigned offset_bits = util::floorLog2(config.line_bytes);
+    unsigned index_bits = util::floorLog2(config.sets());
+    unsigned tag_bits = 32 - offset_bits - index_bits;
+    g.row_bits =
+        static_cast<uint64_t>(config.assoc) *
+        (static_cast<uint64_t>(config.wordsPerLine()) *
+             config.code_bits +
+         tag_bits + 2);
+    g.tag_bits = tag_bits;
+    g.assoc = config.assoc;
+    g.fv_decode = true;
+    return arrayAccessTime(g, tech);
+}
+
+AccessTime
+victimAccessTime(uint32_t entries, uint32_t line_bytes,
+                 const TechParams &tech)
+{
+    ArrayGeometry g;
+    // CAM match across all entries, then one line read out.
+    g.rows = entries;
+    g.row_bits = 8ull * line_bytes;
+    g.tag_bits = 0; // the CAM does the comparison
+    g.assoc = 1;
+    g.cam_entries = entries;
+    return arrayAccessTime(g, tech);
+}
+
+} // namespace fvc::timing

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Analytic SRAM/CAM access-time model (CACTI-style stage sums).
+ */
+
+#ifndef FVC_TIMING_ACCESS_TIME_HH_
+#define FVC_TIMING_ACCESS_TIME_HH_
+
+#include "cache/config.hh"
+#include "core/fvc_cache.hh"
+#include "timing/tech_params.hh"
+
+namespace fvc::timing {
+
+/** Per-stage delay breakdown of one array access. */
+struct AccessTime
+{
+    double decode_ns = 0.0;
+    double wordline_ns = 0.0;
+    double bitline_ns = 0.0;
+    double sense_ns = 0.0;
+    double compare_ns = 0.0;
+    double mux_ns = 0.0;
+    double cam_ns = 0.0;
+    double fv_decode_ns = 0.0;
+    double base_ns = 0.0;
+
+    double
+    total() const
+    {
+        return base_ns + decode_ns + wordline_ns + bitline_ns +
+               sense_ns + compare_ns + mux_ns + cam_ns +
+               fv_decode_ns;
+    }
+};
+
+/**
+ * Generic SRAM array geometry. The model folds the array toward a
+ * square aspect ratio (as CACTI's internal organization search
+ * does, in a simplified way) before computing wordline/bitline RC.
+ */
+struct ArrayGeometry
+{
+    /** Logical rows before folding. */
+    uint64_t rows = 1;
+    /** Row width in bits before folding. */
+    uint64_t row_bits = 1;
+    /** Tag bits compared after the read. */
+    unsigned tag_bits = 0;
+    /** Ways multiplexed at the output. */
+    uint32_t assoc = 1;
+    /** Entries matched in a CAM (0 = RAM-tag structure). */
+    uint32_t cam_entries = 0;
+    /** Whether a frequent-value decode stage follows (FVC). */
+    bool fv_decode = false;
+};
+
+/** Compute the stage delays of @p geometry under @p tech. */
+AccessTime arrayAccessTime(const ArrayGeometry &geometry,
+                           const TechParams &tech = tech080um());
+
+/** Access time of a conventional cache (tag in RAM). */
+AccessTime cacheAccessTime(const cache::CacheConfig &config,
+                           const TechParams &tech = tech080um());
+
+/**
+ * Access time of an FVC: direct-mapped tag + packed code array +
+ * frequent-value decode. @p dmc_config supplies the address split
+ * (the paper notes FVC tag size varies with the DMC configuration).
+ */
+AccessTime fvcAccessTime(const core::FvcConfig &config,
+                         const TechParams &tech = tech080um());
+
+/** Access time of a fully-associative victim cache (CAM tags). */
+AccessTime victimAccessTime(uint32_t entries, uint32_t line_bytes,
+                            const TechParams &tech = tech080um());
+
+} // namespace fvc::timing
+
+#endif // FVC_TIMING_ACCESS_TIME_HH_

@@ -1,0 +1,93 @@
+#include "timing/energy.hh"
+
+#include "util/bitops.hh"
+
+namespace fvc::timing {
+
+const EnergyParams &
+defaultEnergy()
+{
+    static const EnergyParams params{};
+    return params;
+}
+
+namespace {
+
+/** Bits activated per lookup: one way's line + tag per way probed. */
+double
+cacheRowBits(const cache::CacheConfig &config)
+{
+    unsigned tag_bits =
+        32 - config.offsetBits() - config.indexBits();
+    return static_cast<double>(config.assoc) *
+           (8.0 * config.line_bytes + tag_bits + 2);
+}
+
+} // namespace
+
+double
+cacheAccessEnergy(const cache::CacheConfig &config,
+                  const EnergyParams &p)
+{
+    return p.array_access_nj +
+           cacheRowBits(config) * p.sram_read_nj_per_bit;
+}
+
+double
+fvcAccessEnergy(const core::FvcConfig &config, const EnergyParams &p)
+{
+    unsigned offset_bits = util::floorLog2(config.line_bytes);
+    unsigned index_bits = util::floorLog2(config.sets());
+    unsigned tag_bits = 32 - offset_bits - index_bits;
+    double row_bits =
+        static_cast<double>(config.assoc) *
+        (static_cast<double>(config.wordsPerLine()) *
+             config.code_bits +
+         tag_bits + 2);
+    return p.array_access_nj + row_bits * p.sram_read_nj_per_bit;
+}
+
+double
+victimAccessEnergy(uint32_t entries, uint32_t line_bytes,
+                   const EnergyParams &p)
+{
+    // CAM match across all entries plus one line readout.
+    return p.array_access_nj +
+           entries * p.cam_match_nj_per_entry +
+           8.0 * line_bytes * p.sram_read_nj_per_bit;
+}
+
+EnergyBreakdown
+systemEnergy(const cache::CacheConfig &config,
+             const cache::CacheStats &stats, const EnergyParams &p)
+{
+    EnergyBreakdown out;
+    out.array_nj = static_cast<double>(stats.accesses()) *
+                   cacheAccessEnergy(config, p);
+    // Fills additionally write a full line into the array.
+    out.array_nj += static_cast<double>(stats.fills) * 8.0 *
+                    config.line_bytes * p.sram_write_nj_per_bit;
+    out.offchip_nj = static_cast<double>(stats.trafficBytes()) *
+                     p.offchip_nj_per_byte;
+    return out;
+}
+
+EnergyBreakdown
+systemEnergy(const core::DmcFvcSystem &system,
+             const cache::CacheConfig &dmc_config,
+             const core::FvcConfig &fvc_config,
+             const EnergyParams &p)
+{
+    const cache::CacheStats &stats = system.stats();
+    EnergyBreakdown out;
+    out.array_nj = static_cast<double>(stats.accesses()) *
+                   (cacheAccessEnergy(dmc_config, p) +
+                    fvcAccessEnergy(fvc_config, p));
+    out.array_nj += static_cast<double>(stats.fills) * 8.0 *
+                    dmc_config.line_bytes * p.sram_write_nj_per_bit;
+    out.offchip_nj = static_cast<double>(stats.trafficBytes()) *
+                     p.offchip_nj_per_byte;
+    return out;
+}
+
+} // namespace fvc::timing

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Energy model for cache organizations.
+ *
+ * The paper motivates the FVC partly through power: fewer misses
+ * mean less off-chip traffic, and off-chip transfers cost orders of
+ * magnitude more energy than on-chip array accesses. This module
+ * provides a simple activation-energy model: each access charges
+ * for the bits read/written in the arrays it touches, and each
+ * off-chip byte charges a (much larger) bus+DRAM energy.
+ *
+ * Absolute numbers are representative of late-90s technology and
+ * matter less than the ratios (on-chip vs off-chip), which drive
+ * every qualitative conclusion.
+ */
+
+#ifndef FVC_TIMING_ENERGY_HH_
+#define FVC_TIMING_ENERGY_HH_
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "core/dmc_fvc_system.hh"
+#include "core/fvc_cache.hh"
+
+namespace fvc::timing {
+
+/** Energy coefficients (nanojoules). */
+struct EnergyParams
+{
+    /** Per bit activated in an SRAM row read. */
+    double sram_read_nj_per_bit = 0.00035;
+    /** Per bit written into an SRAM row. */
+    double sram_write_nj_per_bit = 0.00045;
+    /** Fixed per-array-access overhead (decode, sense). */
+    double array_access_nj = 0.05;
+    /** Per entry matched in a CAM lookup. */
+    double cam_match_nj_per_entry = 0.012;
+    /** Per byte moved across the off-chip bus (incl. DRAM). */
+    double offchip_nj_per_byte = 1.6;
+};
+
+/** Default coefficients. */
+const EnergyParams &defaultEnergy();
+
+/** Energy of one lookup in a conventional cache (tags + data). */
+double cacheAccessEnergy(const cache::CacheConfig &config,
+                         const EnergyParams &p = defaultEnergy());
+
+/** Energy of one lookup in an FVC (tags + packed codes). */
+double fvcAccessEnergy(const core::FvcConfig &config,
+                       const EnergyParams &p = defaultEnergy());
+
+/** Energy of one fully-associative victim-cache lookup. */
+double victimAccessEnergy(uint32_t entries, uint32_t line_bytes,
+                          const EnergyParams &p = defaultEnergy());
+
+/** Total-energy summary for a simulated run. */
+struct EnergyBreakdown
+{
+    double array_nj = 0.0;
+    double offchip_nj = 0.0;
+
+    double total_nj() const { return array_nj + offchip_nj; }
+    double total_mj() const { return total_nj() * 1e-6; }
+};
+
+/**
+ * Energy of a bare cache run: every access probes the array; all
+ * fetch/writeback traffic crosses the off-chip bus.
+ */
+EnergyBreakdown systemEnergy(const cache::CacheConfig &config,
+                             const cache::CacheStats &stats,
+                             const EnergyParams &p = defaultEnergy());
+
+/**
+ * Energy of a DMC + FVC run: every access probes both arrays in
+ * parallel (the FVC probe is nearly free next to the DMC's), and
+ * the reduced traffic crosses the bus.
+ */
+EnergyBreakdown systemEnergy(const core::DmcFvcSystem &system,
+                             const cache::CacheConfig &dmc_config,
+                             const core::FvcConfig &fvc_config,
+                             const EnergyParams &p = defaultEnergy());
+
+} // namespace fvc::timing
+
+#endif // FVC_TIMING_ENERGY_HH_

@@ -1,0 +1,9 @@
+#include "timing/tech_params.hh"
+
+// tech080um() is defined in access_time.cc next to its users; this
+// translation unit exists so the library has a home for future
+// technology nodes (e.g. 0.35um scaling) without touching callers.
+
+namespace fvc::timing {
+
+} // namespace fvc::timing

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Composable trace filters and adaptors.
+ */
+
+#ifndef FVC_TRACE_FILTERS_HH_
+#define FVC_TRACE_FILTERS_HH_
+
+#include <functional>
+
+#include "trace/source.hh"
+
+namespace fvc::trace {
+
+/** Pass through records matching a predicate. */
+class FilterSource : public TraceSource
+{
+  public:
+    using Predicate = std::function<bool(const MemRecord &)>;
+
+    FilterSource(TraceSource &inner, Predicate pred)
+        : inner_(inner), pred_(std::move(pred))
+    {}
+
+    bool
+    next(MemRecord &out) override
+    {
+        while (inner_.next(out)) {
+            if (pred_(out))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    TraceSource &inner_;
+    Predicate pred_;
+};
+
+/** Truncate a stream after @p limit records. */
+class LimitSource : public TraceSource
+{
+  public:
+    LimitSource(TraceSource &inner, uint64_t limit)
+        : inner_(inner), remaining_(limit)
+    {}
+
+    bool
+    next(MemRecord &out) override
+    {
+        if (remaining_ == 0)
+            return false;
+        if (!inner_.next(out))
+            return false;
+        --remaining_;
+        return true;
+    }
+
+  private:
+    TraceSource &inner_;
+    uint64_t remaining_;
+};
+
+/** Pass only Load/Store records (drop Alloc/Free bookkeeping). */
+class AccessOnlySource : public FilterSource
+{
+  public:
+    explicit AccessOnlySource(TraceSource &inner)
+        : FilterSource(inner,
+                       [](const MemRecord &r) { return r.isAccess(); })
+    {}
+};
+
+/** Keep records whose address lies in [base, base + size). */
+class AddressRangeSource : public FilterSource
+{
+  public:
+    AddressRangeSource(TraceSource &inner, Addr base, uint64_t size)
+        : FilterSource(inner,
+                       [base, size](const MemRecord &r) {
+                           return !r.isAccess() ||
+                                  (r.addr >= base &&
+                                   static_cast<uint64_t>(r.addr) <
+                                       base + size);
+                       })
+    {}
+};
+
+/** Deterministically sample 1 in @p stride access records. */
+class SampleSource : public TraceSource
+{
+  public:
+    SampleSource(TraceSource &inner, uint64_t stride)
+        : inner_(inner), stride_(stride ? stride : 1)
+    {}
+
+    bool
+    next(MemRecord &out) override
+    {
+        while (inner_.next(out)) {
+            if (counter_++ % stride_ == 0)
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    TraceSource &inner_;
+    uint64_t stride_;
+    uint64_t counter_ = 0;
+};
+
+/** Invoke a callback on every record as it flows through. */
+class TeeSource : public TraceSource
+{
+  public:
+    using Callback = std::function<void(const MemRecord &)>;
+
+    TeeSource(TraceSource &inner, Callback cb)
+        : inner_(inner), cb_(std::move(cb))
+    {}
+
+    bool
+    next(MemRecord &out) override
+    {
+        if (!inner_.next(out))
+            return false;
+        cb_(out);
+        return true;
+    }
+
+  private:
+    TraceSource &inner_;
+    Callback cb_;
+};
+
+} // namespace fvc::trace
+
+#endif // FVC_TRACE_FILTERS_HH_

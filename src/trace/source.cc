@@ -1,0 +1,28 @@
+#include "trace/source.hh"
+
+namespace fvc::trace {
+
+uint64_t
+drain(TraceSource &source,
+      const std::function<void(const MemRecord &)> &sink)
+{
+    uint64_t n = 0;
+    MemRecord rec;
+    while (source.next(rec)) {
+        sink(rec);
+        ++n;
+    }
+    return n;
+}
+
+std::vector<MemRecord>
+collect(TraceSource &source, uint64_t limit)
+{
+    std::vector<MemRecord> out;
+    MemRecord rec;
+    while (out.size() < limit && source.next(rec))
+        out.push_back(rec);
+    return out;
+}
+
+} // namespace fvc::trace

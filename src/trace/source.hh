@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Pull-model trace stream interface.
+ */
+
+#ifndef FVC_TRACE_SOURCE_HH_
+#define FVC_TRACE_SOURCE_HH_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace fvc::trace {
+
+/**
+ * A producer of memory trace records.
+ *
+ * Implementations include synthetic workload generators
+ * (fvc::workload::SyntheticWorkload), file readers (TraceReader),
+ * and filters. Consumers repeatedly call next() until it returns
+ * false.
+ */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next record.
+     *
+     * @param out filled with the next record on success
+     * @retval true a record was produced
+     * @retval false the stream is exhausted
+     */
+    virtual bool next(MemRecord &out) = 0;
+};
+
+/** A fixed, in-memory trace; useful in tests. */
+class VectorSource : public TraceSource
+{
+  public:
+    explicit VectorSource(std::vector<MemRecord> records)
+        : records_(std::move(records))
+    {}
+
+    bool
+    next(MemRecord &out) override
+    {
+        if (pos_ >= records_.size())
+            return false;
+        out = records_[pos_++];
+        return true;
+    }
+
+    void reset() { pos_ = 0; }
+
+  private:
+    std::vector<MemRecord> records_;
+    size_t pos_ = 0;
+};
+
+/**
+ * Drain @p source, invoking @p sink for each record.
+ *
+ * @return the number of records consumed.
+ */
+uint64_t drain(TraceSource &source,
+               const std::function<void(const MemRecord &)> &sink);
+
+/** Collect up to @p limit records into a vector (tests, tooling). */
+std::vector<MemRecord> collect(TraceSource &source,
+                               uint64_t limit = ~0ull);
+
+} // namespace fvc::trace
+
+#endif // FVC_TRACE_SOURCE_HH_

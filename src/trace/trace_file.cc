@@ -1,0 +1,171 @@
+#include "trace/trace_file.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace fvc::trace {
+
+namespace {
+
+constexpr size_t kBufferRecords = 16384;
+
+void
+put32(uint8_t *p, uint32_t v)
+{
+    p[0] = static_cast<uint8_t>(v);
+    p[1] = static_cast<uint8_t>(v >> 8);
+    p[2] = static_cast<uint8_t>(v >> 16);
+    p[3] = static_cast<uint8_t>(v >> 24);
+}
+
+void
+put64(uint8_t *p, uint64_t v)
+{
+    put32(p, static_cast<uint32_t>(v));
+    put32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(get32(p)) |
+           (static_cast<uint64_t>(get32(p + 4)) << 32);
+}
+
+} // namespace
+
+void
+encodeRecord(const MemRecord &rec, uint8_t *out)
+{
+    out[0] = static_cast<uint8_t>(rec.op);
+    put32(out + 1, rec.addr);
+    put32(out + 5, rec.value);
+    put64(out + 9, rec.icount);
+}
+
+MemRecord
+decodeRecord(const uint8_t *in)
+{
+    MemRecord rec;
+    rec.op = static_cast<Op>(in[0]);
+    rec.addr = get32(in + 1);
+    rec.value = get32(in + 5);
+    rec.icount = get64(in + 9);
+    return rec;
+}
+
+TraceWriter::TraceWriter(const std::string &path,
+                         const std::string &workload, uint64_t seed)
+    : file_(std::fopen(path.c_str(), "wb")), path_(path)
+{
+    if (!file_)
+        fvc_fatal("cannot open trace file for writing: ", path);
+    header_.seed = seed;
+    std::strncpy(header_.workload, workload.c_str(),
+                 sizeof(header_.workload) - 1);
+    // Reserve header space; back-patched on close().
+    if (std::fwrite(&header_, sizeof(header_), 1, file_) != 1)
+        fvc_fatal("cannot write trace header: ", path);
+    buffer_.reserve(kBufferRecords * kRecordBytes);
+}
+
+TraceWriter::~TraceWriter()
+{
+    close();
+}
+
+void
+TraceWriter::append(const MemRecord &rec)
+{
+    fvc_assert(file_, "append on closed TraceWriter");
+    size_t off = buffer_.size();
+    buffer_.resize(off + kRecordBytes);
+    encodeRecord(rec, buffer_.data() + off);
+    ++count_;
+    if (rec.icount > max_icount_)
+        max_icount_ = rec.icount;
+    if (buffer_.size() >= kBufferRecords * kRecordBytes)
+        flushBuffer();
+}
+
+void
+TraceWriter::flushBuffer()
+{
+    if (buffer_.empty())
+        return;
+    if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
+        buffer_.size()) {
+        fvc_fatal("short write to trace file: ", path_);
+    }
+    buffer_.clear();
+}
+
+void
+TraceWriter::close()
+{
+    if (!file_)
+        return;
+    flushBuffer();
+    header_.record_count = count_;
+    header_.instruction_count = max_icount_;
+    std::fseek(file_, 0, SEEK_SET);
+    if (std::fwrite(&header_, sizeof(header_), 1, file_) != 1)
+        fvc_fatal("cannot back-patch trace header: ", path_);
+    std::fclose(file_);
+    file_ = nullptr;
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : file_(std::fopen(path.c_str(), "rb"))
+{
+    if (!file_)
+        fvc_fatal("cannot open trace file for reading: ", path);
+    if (std::fread(&header_, sizeof(header_), 1, file_) != 1)
+        fvc_fatal("cannot read trace header: ", path);
+    if (header_.magic != kTraceMagic)
+        fvc_fatal("bad trace magic in ", path);
+    if (header_.version != kTraceVersion)
+        fvc_fatal("unsupported trace version ", header_.version);
+    remaining_ = header_.record_count;
+    buffer_.resize(kBufferRecords * kRecordBytes);
+}
+
+TraceReader::~TraceReader()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+TraceReader::refill()
+{
+    buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
+    buf_len_ -= buf_len_ % kRecordBytes;
+    buf_pos_ = 0;
+    return buf_len_ > 0;
+}
+
+bool
+TraceReader::next(MemRecord &out)
+{
+    if (remaining_ == 0)
+        return false;
+    if (buf_pos_ >= buf_len_ && !refill())
+        return false;
+    out = decodeRecord(buffer_.data() + buf_pos_);
+    buf_pos_ += kRecordBytes;
+    --remaining_;
+    return true;
+}
+
+} // namespace fvc::trace

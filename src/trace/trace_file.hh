@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Binary trace file format, writer and reader.
+ *
+ * Layout: a fixed header (magic, version, record count, metadata)
+ * followed by packed little-endian records. The format is
+ * deliberately simple so external tools can parse it; buffered IO
+ * keeps it fast enough to stream multi-million-record traces.
+ */
+
+#ifndef FVC_TRACE_TRACE_FILE_HH_
+#define FVC_TRACE_TRACE_FILE_HH_
+
+#include <cstddef>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+#include "trace/source.hh"
+
+namespace fvc::trace {
+
+/** Magic bytes identifying a trace file ("FVCT"). */
+inline constexpr uint32_t kTraceMagic = 0x46564354;
+/** Current format version. */
+inline constexpr uint32_t kTraceVersion = 1;
+
+/** Trace file header, stored verbatim at offset 0. */
+struct TraceHeader
+{
+    uint32_t magic = kTraceMagic;
+    uint32_t version = kTraceVersion;
+    /** Number of records that follow. */
+    uint64_t record_count = 0;
+    /** Total instructions covered by the trace. */
+    uint64_t instruction_count = 0;
+    /** Generator seed, for provenance. */
+    uint64_t seed = 0;
+    /** NUL-padded workload name. */
+    char workload[32] = {};
+};
+
+/** Streaming writer for trace files. */
+class TraceWriter
+{
+  public:
+    /**
+     * Open @p path for writing and reserve the header.
+     * Calls fvc_fatal on IO failure.
+     */
+    explicit TraceWriter(const std::string &path,
+                         const std::string &workload = "",
+                         uint64_t seed = 0);
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append one record. */
+    void append(const MemRecord &rec);
+
+    /** Flush, back-patch the header, and close. Idempotent. */
+    void close();
+
+    uint64_t recordCount() const { return count_; }
+
+  private:
+    std::FILE *file_;
+    std::string path_;
+    TraceHeader header_;
+    uint64_t count_ = 0;
+    uint64_t max_icount_ = 0;
+    std::vector<uint8_t> buffer_;
+
+    void flushBuffer();
+};
+
+/** Streaming reader; a TraceSource over a trace file. */
+class TraceReader : public TraceSource
+{
+  public:
+    /** Open @p path; fvc_fatal on missing file or bad magic. */
+    explicit TraceReader(const std::string &path);
+    ~TraceReader() override;
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    bool next(MemRecord &out) override;
+
+    const TraceHeader &header() const { return header_; }
+
+  private:
+    std::FILE *file_;
+    TraceHeader header_;
+    uint64_t remaining_;
+    std::vector<uint8_t> buffer_;
+    size_t buf_pos_ = 0;
+    size_t buf_len_ = 0;
+
+    bool refill();
+};
+
+/** On-disk record size in bytes. */
+inline constexpr size_t kRecordBytes = 1 + 4 + 4 + 8;
+
+/** Serialize a record into @p out (must have kRecordBytes room). */
+void encodeRecord(const MemRecord &rec, uint8_t *out);
+
+/** Deserialize a record from @p in. */
+MemRecord decodeRecord(const uint8_t *in);
+
+} // namespace fvc::trace
+
+#endif // FVC_TRACE_TRACE_FILE_HH_

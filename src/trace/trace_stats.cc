@@ -1,0 +1,43 @@
+#include "trace/trace_stats.hh"
+
+namespace fvc::trace {
+
+void
+TraceStats::observe(const MemRecord &rec)
+{
+    if (!seen_any_) {
+        first_icount_ = rec.icount;
+        seen_any_ = true;
+    }
+    last_icount_ = rec.icount;
+    switch (rec.op) {
+      case Op::Load:
+        ++loads_;
+        words_.insert(wordIndex(rec.addr));
+        break;
+      case Op::Store:
+        ++stores_;
+        words_.insert(wordIndex(rec.addr));
+        break;
+      case Op::Alloc:
+        ++allocs_;
+        break;
+      case Op::Free:
+        ++frees_;
+        break;
+    }
+}
+
+double
+TraceStats::accessesPerKiloInstruction() const
+{
+    uint64_t span = last_icount_ > first_icount_
+        ? last_icount_ - first_icount_
+        : 0;
+    if (span == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(accesses()) /
+           static_cast<double>(span);
+}
+
+} // namespace fvc::trace

@@ -1,0 +1,68 @@
+#include "util/logging.hh"
+
+#include <atomic>
+#include <cstdio>
+
+namespace fvc::util {
+
+namespace {
+
+std::atomic<uint64_t> warn_counter{0};
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Fatal:
+        return "fatal";
+      case LogLevel::Panic:
+        return "panic";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+logMessage(LogLevel level, const char *file, int line,
+           const std::string &message)
+{
+    if (level == LogLevel::Warn)
+        warn_counter.fetch_add(1, std::memory_order_relaxed);
+    if (level == LogLevel::Inform) {
+        std::fprintf(stderr, "%s: %s\n", levelName(level), message.c_str());
+    } else {
+        std::fprintf(stderr, "%s: %s (%s:%d)\n", levelName(level),
+                     message.c_str(), file, line);
+    }
+}
+
+uint64_t
+warnCount()
+{
+    return warn_counter.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void
+panicImpl(const char *file, int line, const std::string &message)
+{
+    logMessage(LogLevel::Panic, file, line, message);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &message)
+{
+    logMessage(LogLevel::Fatal, file, line, message);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace fvc::util

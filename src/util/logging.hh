@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Logging and error-reporting helpers.
+ *
+ * Follows the gem5 convention: panic() is for internal invariant
+ * violations (simulator bugs) and aborts; fatal() is for user errors
+ * (bad configuration, bad input) and exits cleanly with an error
+ * code; warn()/inform() report conditions without stopping.
+ */
+
+#ifndef FVC_UTIL_LOGGING_HH_
+#define FVC_UTIL_LOGGING_HH_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fvc::util {
+
+/** Severity of a log message. */
+enum class LogLevel {
+    Inform,
+    Warn,
+    Fatal,
+    Panic,
+};
+
+/**
+ * Emit a formatted log message to stderr.
+ *
+ * @param level severity of the message
+ * @param file source file that raised the message
+ * @param line source line that raised the message
+ * @param message already-formatted message body
+ */
+void logMessage(LogLevel level, const char *file, int line,
+                const std::string &message);
+
+/** Return the number of warnings emitted so far (used by tests). */
+uint64_t warnCount();
+
+namespace detail {
+
+/** Concatenate a parameter pack into a string via a stringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &message);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &message);
+
+} // namespace detail
+
+} // namespace fvc::util
+
+/**
+ * Abort with a message. Use for conditions that indicate a bug in
+ * the library itself, never for user errors.
+ */
+#define fvc_panic(...)                                                     \
+    ::fvc::util::detail::panicImpl(__FILE__, __LINE__,                     \
+                                   ::fvc::util::detail::concat(__VA_ARGS__))
+
+/**
+ * Exit with an error message. Use for conditions caused by invalid
+ * user input or configuration.
+ */
+#define fvc_fatal(...)                                                     \
+    ::fvc::util::detail::fatalImpl(__FILE__, __LINE__,                     \
+                                   ::fvc::util::detail::concat(__VA_ARGS__))
+
+/** Warn about a suspicious but survivable condition. */
+#define fvc_warn(...)                                                      \
+    ::fvc::util::logMessage(::fvc::util::LogLevel::Warn, __FILE__,         \
+                            __LINE__,                                      \
+                            ::fvc::util::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status. */
+#define fvc_inform(...)                                                    \
+    ::fvc::util::logMessage(::fvc::util::LogLevel::Inform, __FILE__,       \
+                            __LINE__,                                      \
+                            ::fvc::util::detail::concat(__VA_ARGS__))
+
+/** Panic if a library-internal invariant does not hold. */
+#define fvc_assert(cond, ...)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            fvc_panic("assertion failed: " #cond " ",                      \
+                      ::fvc::util::detail::concat(__VA_ARGS__));           \
+        }                                                                  \
+    } while (0)
+
+#endif // FVC_UTIL_LOGGING_HH_

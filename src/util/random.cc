@@ -1,0 +1,160 @@
+#include "util/random.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fvc::util {
+
+namespace {
+
+/** SplitMix64 step, used only to expand the seed. */
+uint64_t
+splitMix64(uint64_t &x)
+{
+    uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : state_)
+        s = splitMix64(sm);
+}
+
+uint64_t
+Rng::next64()
+{
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    fvc_assert(bound != 0, "Rng::below requires a nonzero bound");
+    // Debiased via rejection on the top of the range.
+    const uint64_t threshold = -bound % bound;
+    for (;;) {
+        uint64_t r = next64();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+int64_t
+Rng::range(int64_t lo, int64_t hi)
+{
+    fvc_assert(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + static_cast<int64_t>(
+        below(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double
+Rng::real()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+Rng
+Rng::fork()
+{
+    return Rng(next64());
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s)
+{
+    fvc_assert(n > 0, "ZipfSampler requires at least one item");
+    cdf_.resize(n);
+    double sum = 0.0;
+    for (uint64_t k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = sum;
+    }
+    for (auto &c : cdf_)
+        c /= sum;
+}
+
+uint64_t
+ZipfSampler::sample(Rng &rng) const
+{
+    double u = rng.real();
+    // Binary search for the first CDF entry >= u.
+    uint64_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+        uint64_t mid = (lo + hi) / 2;
+        if (cdf_[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+DiscreteSampler::DiscreteSampler(const std::vector<double> &weights)
+    : weight_(weights), total_(0.0)
+{
+    fvc_assert(!weights.empty(), "DiscreteSampler requires weights");
+    const size_t n = weights.size();
+    for (double w : weights) {
+        fvc_assert(w >= 0.0, "DiscreteSampler weights must be >= 0");
+        total_ += w;
+    }
+    fvc_assert(total_ > 0.0, "DiscreteSampler requires positive mass");
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+
+    // Walker's alias method: split mass into n equal columns.
+    std::vector<double> scaled(n);
+    std::vector<uint32_t> small, large;
+    for (size_t i = 0; i < n; ++i) {
+        scaled[i] = weights[i] * static_cast<double>(n) / total_;
+        (scaled[i] < 1.0 ? small : large).push_back(
+            static_cast<uint32_t>(i));
+    }
+    while (!small.empty() && !large.empty()) {
+        uint32_t s = small.back();
+        small.pop_back();
+        uint32_t l = large.back();
+        large.pop_back();
+        prob_[s] = scaled[s];
+        alias_[s] = l;
+        scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+        (scaled[l] < 1.0 ? small : large).push_back(l);
+    }
+    for (uint32_t i : large)
+        prob_[i] = 1.0;
+    for (uint32_t i : small)
+        prob_[i] = 1.0;
+}
+
+uint32_t
+DiscreteSampler::sample(Rng &rng) const
+{
+    const uint32_t column =
+        static_cast<uint32_t>(rng.below(prob_.size()));
+    return rng.real() < prob_[column] ? column : alias_[column];
+}
+
+} // namespace fvc::util

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the sampling
+ * distributions used by the synthetic workload generators.
+ *
+ * All simulation randomness flows through Rng so that every
+ * experiment is reproducible from a single seed. The generator is
+ * xoshiro256**, seeded via SplitMix64.
+ */
+
+#ifndef FVC_UTIL_RANDOM_HH_
+#define FVC_UTIL_RANDOM_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fvc::util {
+
+/** Deterministic 64-bit PRNG (xoshiro256**). */
+class Rng
+{
+  public:
+    /** Construct from a seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit output. */
+    uint64_t next64();
+
+    /** Next raw 32-bit output. */
+    uint32_t next32() { return static_cast<uint32_t>(next64() >> 32); }
+
+    /** Uniform integer in [0, bound); @p bound must be nonzero. */
+    uint64_t below(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t range(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double real();
+
+    /** Bernoulli trial with success probability @p p. */
+    bool chance(double p) { return real() < p; }
+
+    /** Fork an independent stream (for per-kernel determinism). */
+    Rng fork();
+
+  private:
+    uint64_t state_[4];
+};
+
+/**
+ * Sampler for a Zipf(s) distribution over ranks 1..n.
+ *
+ * Used to model hot/cold object popularity in the synthetic
+ * workloads. Sampling is O(log n) via binary search over the
+ * precomputed CDF.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n number of items
+     * @param s skew exponent (s = 0 is uniform; s ~ 1 is classic)
+     */
+    ZipfSampler(uint64_t n, double s);
+
+    /** Sample a rank in [0, n). Rank 0 is the most popular item. */
+    uint64_t sample(Rng &rng) const;
+
+    uint64_t size() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+/**
+ * Sampler for an arbitrary discrete distribution given by
+ * non-negative weights. O(1) sampling via Walker's alias method.
+ */
+class DiscreteSampler
+{
+  public:
+    explicit DiscreteSampler(const std::vector<double> &weights);
+
+    /** Sample an index in [0, weights.size()). */
+    uint32_t sample(Rng &rng) const;
+
+    size_t size() const { return prob_.size(); }
+
+    /** Probability mass assigned to index @p i. */
+    double probability(size_t i) const { return weight_[i] / total_; }
+
+  private:
+    std::vector<double> prob_;
+    std::vector<uint32_t> alias_;
+    std::vector<double> weight_;
+    double total_;
+};
+
+} // namespace fvc::util
+
+#endif // FVC_UTIL_RANDOM_HH_

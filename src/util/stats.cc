@@ -1,0 +1,118 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace fvc::util {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    if (count_ == 1) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+}
+
+void
+RunningStat::reset()
+{
+    *this = RunningStat();
+}
+
+double
+RunningStat::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    fvc_assert(hi > lo && buckets > 0, "bad histogram bounds");
+}
+
+void
+Histogram::add(double x, uint64_t weight)
+{
+    total_ += weight;
+    if (x < lo_) {
+        underflow_ += weight;
+        return;
+    }
+    if (x >= hi_) {
+        overflow_ += weight;
+        return;
+    }
+    auto idx = static_cast<size_t>(
+        (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+    idx = std::min(idx, counts_.size() - 1);
+    counts_[idx] += weight;
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    const double target = q * static_cast<double>(total_);
+    double seen = static_cast<double>(underflow_);
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        seen += static_cast<double>(counts_[i]);
+        if (seen >= target)
+            return lo_ + (static_cast<double>(i) + 0.5) * width;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::sparkline() const
+{
+    static const char *glyphs[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+    uint64_t peak = 0;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (uint64_t c : counts_) {
+        size_t level = peak == 0
+            ? 0
+            : static_cast<size_t>(
+                  static_cast<double>(c) / static_cast<double>(peak) * 7.0);
+        out += glyphs[level];
+    }
+    return out;
+}
+
+double
+percent(uint64_t part, uint64_t whole)
+{
+    if (whole == 0)
+        return 0.0;
+    return 100.0 * static_cast<double>(part) / static_cast<double>(whole);
+}
+
+double
+percentReduction(double base, double improved)
+{
+    if (base == 0.0)
+        return 0.0;
+    return 100.0 * (base - improved) / base;
+}
+
+} // namespace fvc::util

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight statistics primitives for simulation counters.
+ */
+
+#ifndef FVC_UTIL_STATS_HH_
+#define FVC_UTIL_STATS_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fvc::util {
+
+/** Online mean/min/max/variance accumulator (Welford). */
+class RunningStat
+{
+  public:
+    void add(double x);
+    void reset();
+
+    uint64_t count() const { return count_; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+    double variance() const;
+    double stddev() const;
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with out-of-range buckets. */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t buckets);
+
+    void add(double x, uint64_t weight = 1);
+
+    uint64_t total() const { return total_; }
+    uint64_t bucketCount(size_t i) const { return counts_[i]; }
+    size_t buckets() const { return counts_.size(); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+
+    /** Value below which @p q of the mass lies (bucket midpoint). */
+    double quantile(double q) const;
+
+    /** Render a compact ASCII sparkline of the distribution. */
+    std::string sparkline() const;
+
+  private:
+    double lo_, hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/** Ratio formatted as a percentage; safe when the denominator is 0. */
+double percent(uint64_t part, uint64_t whole);
+
+/** Relative reduction (a - b) / a in percent; safe when a == 0. */
+double percentReduction(double base, double improved);
+
+} // namespace fvc::util
+
+#endif // FVC_UTIL_STATS_HH_

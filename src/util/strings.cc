@@ -1,0 +1,80 @@
+#include "util/strings.hh"
+
+#include <cstdio>
+
+namespace fvc::util {
+
+std::string
+hex32(uint32_t value)
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%x", value);
+    return buf;
+}
+
+std::string
+fixedStr(double value, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, value);
+    return buf;
+}
+
+std::string
+withCommas(uint64_t value)
+{
+    std::string raw = std::to_string(value);
+    std::string out;
+    int counter = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (counter != 0 && counter % 3 == 0)
+            out += ',';
+        out += *it;
+        ++counter;
+    }
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+sizeStr(uint64_t bytes)
+{
+    if (bytes >= 1024 * 1024 && bytes % (1024 * 1024) == 0)
+        return std::to_string(bytes / (1024 * 1024)) + "Mb";
+    if (bytes >= 1024) {
+        if (bytes % 1024 == 0)
+            return std::to_string(bytes / 1024) + "Kb";
+        double kb = static_cast<double>(bytes) / 1024.0;
+        return fixedStr(kb, kb < 1.0 ? 3 : 2) + "Kb";
+    }
+    return std::to_string(bytes) + "B";
+}
+
+std::string
+padLeft(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace fvc::util

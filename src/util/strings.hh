@@ -1,0 +1,40 @@
+/**
+ * @file
+ * String formatting helpers for experiment output.
+ */
+
+#ifndef FVC_UTIL_STRINGS_HH_
+#define FVC_UTIL_STRINGS_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fvc::util {
+
+/** Format a 32-bit value as lowercase hex without leading zeros. */
+std::string hex32(uint32_t value);
+
+/** Format with fixed decimal places, e.g. fixedStr(1.2345, 2) == "1.23". */
+std::string fixedStr(double value, int places);
+
+/** Format an integer with thousands separators: 1234567 -> "1,234,567". */
+std::string withCommas(uint64_t value);
+
+/** Format a byte count compactly: 512 -> "512B", 3072 -> "3Kb". */
+std::string sizeStr(uint64_t bytes);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, size_t w);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace fvc::util
+
+#endif // FVC_UTIL_STRINGS_HH_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * ASCII table renderer used by the benchmark harnesses to print
+ * paper-style tables and figure series.
+ */
+
+#ifndef FVC_UTIL_TABLE_HH_
+#define FVC_UTIL_TABLE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fvc::util {
+
+/**
+ * A simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ *   Table t({"benchmark", "miss rate"});
+ *   t.addRow({"126.gcc", "3.52"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Right-align the given column (numbers read better that way). */
+    void alignRight(size_t column);
+
+    size_t rows() const { return rows_.size(); }
+
+    /** Render to a string with a border and aligned columns. */
+    std::string render() const;
+
+    /**
+     * Render as RFC-4180-style CSV (header row first; separator
+     * rows are skipped; cells containing commas/quotes/newlines
+     * are quoted). For piping experiment results into plotting
+     * scripts.
+     */
+    std::string renderCsv() const;
+
+    /**
+     * Append the CSV rendering to "<dir>/<name>.csv" when the
+     * FVC_CSV_DIR environment variable is set; otherwise a no-op.
+     * Returns true if a file was written.
+     */
+    bool exportCsv(const std::string &name) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<bool> right_;
+};
+
+} // namespace fvc::util
+
+#endif // FVC_UTIL_TABLE_HH_

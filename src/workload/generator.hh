@@ -1,0 +1,71 @@
+/**
+ * @file
+ * SyntheticWorkload: turns a BenchmarkProfile into a trace stream.
+ */
+
+#ifndef FVC_WORKLOAD_GENERATOR_HH_
+#define FVC_WORKLOAD_GENERATOR_HH_
+
+#include <deque>
+#include <memory>
+
+#include "memmodel/functional_memory.hh"
+#include "trace/source.hh"
+#include "workload/profile.hh"
+
+namespace fvc::workload {
+
+/**
+ * A trace source that executes a BenchmarkProfile's kernels against
+ * a functional memory, producing a load/store/alloc/free stream of
+ * the requested length. Deterministic given (profile, seed).
+ */
+class SyntheticWorkload : public trace::TraceSource
+{
+  public:
+    /**
+     * @param profile the benchmark description
+     * @param accesses number of Load/Store records to produce
+     *                 (0 means profile.default_accesses)
+     * @param seed RNG seed
+     */
+    SyntheticWorkload(BenchmarkProfile profile, uint64_t accesses = 0,
+                      uint64_t seed = 1);
+    ~SyntheticWorkload() override;
+
+    bool next(trace::MemRecord &out) override;
+
+    /** Ground-truth memory image (valid at any point mid-stream). */
+    const memmodel::FunctionalMemory &memory() const;
+
+    /**
+     * Snapshot of memory at trace start (after the silent preload
+     * phase that builds the workload's initial data structures).
+     * Cache simulations must install this image into their backing
+     * memory before replaying the trace.
+     */
+    const memmodel::FunctionalMemory &initialImage() const;
+
+    const BenchmarkProfile &profile() const { return profile_; }
+
+    /** Total accesses this stream will produce. */
+    uint64_t targetAccesses() const { return target_accesses_; }
+
+    /** Instruction count of the most recent record. */
+    uint64_t currentIcount() const;
+
+  private:
+    class Impl;
+    std::unique_ptr<Impl> impl_;
+    BenchmarkProfile profile_;
+    uint64_t target_accesses_;
+};
+
+/** Convenience factory. */
+std::unique_ptr<SyntheticWorkload>
+makeWorkload(const BenchmarkProfile &profile, uint64_t accesses = 0,
+             uint64_t seed = 1);
+
+} // namespace fvc::workload
+
+#endif // FVC_WORKLOAD_GENERATOR_HH_

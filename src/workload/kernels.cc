@@ -1,0 +1,397 @@
+#include "workload/kernels.hh"
+
+#include "util/logging.hh"
+
+namespace fvc::workload {
+
+Word
+storeValue(Emitter &em, Addr addr)
+{
+    if (em.rng().chance(em.mutateFraction()))
+        return em.pool().sample(em.rng());
+    // Rewrite the resident value: a store that does not change the
+    // location's contents (flag refreshes, copies of equal data).
+    return em.peek(addr);
+}
+
+Word
+initValue(Emitter &em, double frequent_bias)
+{
+    if (em.rng().chance(frequent_bias))
+        return em.pool().sampleFrequent(em.rng());
+    return em.pool().sample(em.rng());
+}
+
+HotSpotKernel::HotSpotKernel(const HotSpotParams &params)
+    : params_(params),
+      zipf_(std::max<uint32_t>(params.words /
+                                   std::max<uint32_t>(
+                                       params.object_words, 1),
+                               1),
+            params.zipf_s)
+{
+    fvc_assert(params_.words > 0, "HotSpotKernel requires words > 0");
+    fvc_assert(params_.object_words > 0,
+               "HotSpotKernel requires object_words > 0");
+}
+
+void
+HotSpotKernel::init(Emitter &em)
+{
+    // Populate the working set (init happens in the generator's
+    // silent preload phase: this models the data structures the
+    // program built before the traced window). Value frequency is
+    // homogeneous per object: a zeroed/just-initialized structure
+    // is frequent-valued throughout, an active one holds live
+    // (infrequent) data — matching the object-level correlation
+    // real heaps exhibit.
+    uint32_t objects = params_.words / params_.object_words;
+    for (uint32_t obj = 0; obj < std::max(objects, 1u); ++obj) {
+        bool frequent_obj =
+            em.rng().chance(params_.init_frequent_bias);
+        for (uint32_t w = 0; w < params_.object_words; ++w) {
+            uint32_t i = obj * params_.object_words + w;
+            if (i >= params_.words)
+                break;
+            Addr a = params_.base + i * trace::kWordBytes;
+            em.store(a, frequent_obj
+                            ? em.pool().sampleFrequent(em.rng())
+                            : em.pool().sampleTail(em.rng()));
+        }
+    }
+}
+
+void
+HotSpotKernel::step(Emitter &em)
+{
+    // Visit Zipf-popular objects. A visit is homogeneous: either a
+    // read visit touching a short run of fields (field checks,
+    // traversals) or a store visit re-initializing most of the
+    // object (construction, reset). This mirrors how real code
+    // interleaves reads and writes at object granularity.
+    uint32_t emitted = 0;
+    const uint64_t objects = zipf_.size();
+    while (emitted < params_.burst) {
+        // Scatter popularity ranks over the region (multiplicative
+        // hash) — hot objects are spread through memory, as the
+        // paper's Figure 5 observes, instead of clustering at the
+        // region base where they would all alias the same cache
+        // index.
+        uint64_t object =
+            (zipf_.sample(em.rng()) * 2654435761ull) % objects;
+        Addr obj_base = params_.base +
+                        static_cast<Addr>(object) *
+                            params_.object_words * trace::kWordBytes;
+        if (em.rng().chance(params_.write_fraction)) {
+            // Store visit: overwrite the object's fields, keeping
+            // the object's frequent/live character homogeneous.
+            bool frequent_obj =
+                em.rng().chance(params_.init_frequent_bias);
+            for (uint32_t w = 0;
+                 w < params_.object_words && emitted < params_.burst;
+                 ++w, ++emitted) {
+                Addr a = obj_base + w * trace::kWordBytes;
+                Word v = em.peek(a);
+                if (em.rng().chance(em.mutateFraction())) {
+                    v = frequent_obj
+                        ? em.pool().sampleFrequent(em.rng())
+                        : em.pool().sampleTail(em.rng());
+                }
+                em.store(a, v);
+            }
+        } else {
+            // Read visit: mostly one or two fields.
+            uint32_t run = em.rng().chance(0.7)
+                ? 1 + static_cast<uint32_t>(em.rng().below(2))
+                : 1 + static_cast<uint32_t>(
+                      em.rng().below(params_.object_words));
+            uint32_t start = static_cast<uint32_t>(
+                em.rng().below(params_.object_words));
+            for (uint32_t j = 0;
+                 j < run && emitted < params_.burst;
+                 ++j, ++emitted) {
+                uint32_t w = (start + j) % params_.object_words;
+                em.load(obj_base + w * trace::kWordBytes);
+            }
+        }
+    }
+}
+
+ScanKernel::ScanKernel(const ScanParams &params) : params_(params)
+{
+    fvc_assert(params_.words > 0, "ScanKernel requires words > 0");
+    fvc_assert(params_.stride_words > 0,
+               "ScanKernel requires stride > 0");
+}
+
+Word
+ScanKernel::arrayValue(Emitter &em)
+{
+    if (params_.frequent_share < 0.0)
+        return em.pool().sample(em.rng());
+    return em.rng().chance(params_.frequent_share)
+        ? em.pool().sampleFrequent(em.rng())
+        : em.pool().sampleTail(em.rng());
+}
+
+void
+ScanKernel::init(Emitter &em)
+{
+    for (uint32_t i = 0; i < params_.words; ++i) {
+        Addr a = params_.base + i * trace::kWordBytes;
+        em.store(a, arrayValue(em));
+    }
+}
+
+void
+ScanKernel::step(Emitter &em)
+{
+    uint32_t emitted = 0;
+    while (emitted < params_.burst) {
+        Addr a = params_.base + cursor_ * trace::kWordBytes;
+        // Array codes read each element; updates are
+        // read-modify-write (a[i] = f(a[i])), so the load always
+        // comes first and allocates the line.
+        em.load(a);
+        ++emitted;
+        if (emitted < params_.burst &&
+            em.rng().chance(params_.write_fraction)) {
+            Word v = em.rng().chance(em.mutateFraction())
+                ? arrayValue(em)
+                : em.peek(a);
+            em.store(a, v);
+            ++emitted;
+        }
+        cursor_ = (cursor_ + params_.stride_words) % params_.words;
+    }
+}
+
+ConflictKernel::ConflictKernel(const ConflictParams &params)
+    : params_(params)
+{
+    fvc_assert(params_.num_blocks > 0 && params_.block_words > 0,
+               "ConflictKernel requires blocks");
+}
+
+void
+ConflictKernel::init(Emitter &em)
+{
+    // Deterministic composition: each block holds exactly
+    // round(block_words * (1 - frequent_bias)) non-frequent words
+    // at random positions. This pins the FVC's achievable benefit
+    // (which depends on whether a visit touches a non-frequent
+    // word) instead of leaving it to seed luck.
+    uint32_t bad_words = static_cast<uint32_t>(
+        static_cast<double>(params_.block_words) *
+            (1.0 - params_.frequent_bias) +
+        0.5);
+    for (uint32_t b = 0; b < params_.num_blocks; ++b) {
+        std::vector<bool> bad(params_.block_words, false);
+        for (uint32_t placed = 0; placed < bad_words;) {
+            uint32_t w = static_cast<uint32_t>(
+                em.rng().below(params_.block_words));
+            if (!bad[w]) {
+                bad[w] = true;
+                ++placed;
+            }
+        }
+        for (uint32_t w = 0; w < params_.block_words; ++w) {
+            Addr a = params_.base + b * params_.stride_bytes +
+                     w * trace::kWordBytes;
+            em.store(a, bad[w]
+                            ? em.pool().sampleTail(em.rng())
+                            : em.pool().sampleFrequent(em.rng()));
+        }
+    }
+}
+
+void
+ConflictKernel::step(Emitter &em)
+{
+    // Visit the next block (blocks alias in the DMC, so alternating
+    // visits evict each other), touching a few of its words — the
+    // access shape of two hot structures that happen to collide.
+    Addr block_base =
+        params_.base + next_block_ * params_.stride_bytes;
+    next_block_ = (next_block_ + 1) % params_.num_blocks;
+
+    bool store_visit = em.rng().chance(params_.write_fraction);
+    for (uint32_t t = 0; t < params_.touches; ++t) {
+        uint32_t w = static_cast<uint32_t>(
+            em.rng().below(params_.block_words));
+        Addr a = block_base + w * trace::kWordBytes;
+        if (store_visit) {
+            Word v = em.rng().chance(em.mutateFraction())
+                ? initValue(em, params_.frequent_bias)
+                : em.peek(a);
+            em.store(a, v);
+        } else {
+            em.load(a);
+        }
+    }
+}
+
+PointerChaseKernel::PointerChaseKernel(const PointerChaseParams &params)
+    : params_(params), current_(params.heap_base)
+{
+    fvc_assert(params_.num_nodes > 1,
+               "PointerChaseKernel requires >= 2 nodes");
+    fvc_assert(params_.node_words >= 2,
+               "PointerChaseKernel nodes need a next field and data");
+}
+
+Addr
+PointerChaseKernel::nodeAddr(uint32_t index) const
+{
+    return params_.heap_base +
+           index * params_.node_words * trace::kWordBytes;
+}
+
+void
+PointerChaseKernel::init(Emitter &em)
+{
+    // Build a random circular permutation (a Sattolo cycle) so the
+    // chase visits every node before repeating.
+    std::vector<uint32_t> order(params_.num_nodes);
+    for (uint32_t i = 0; i < params_.num_nodes; ++i)
+        order[i] = i;
+    for (uint32_t i = params_.num_nodes - 1; i > 0; --i) {
+        uint32_t j = static_cast<uint32_t>(em.rng().below(i));
+        std::swap(order[i], order[j]);
+    }
+    for (uint32_t i = 0; i < params_.num_nodes; ++i) {
+        uint32_t from = order[i];
+        uint32_t to = order[(i + 1) % params_.num_nodes];
+        em.alloc(nodeAddr(from),
+                 params_.node_words * trace::kWordBytes);
+        em.store(nodeAddr(from), nodeAddr(to));
+        for (uint32_t w = 1; w < params_.node_words; ++w) {
+            em.store(nodeAddr(from) + w * trace::kWordBytes,
+                     em.pool().sample(em.rng()));
+        }
+    }
+    current_ = nodeAddr(order[0]);
+}
+
+void
+PointerChaseKernel::step(Emitter &em)
+{
+    for (uint32_t hop = 0; hop < params_.hops; ++hop) {
+        Word next = em.load(current_);
+        // Touch one data word of the node.
+        uint32_t w = 1 + static_cast<uint32_t>(
+            em.rng().below(params_.node_words - 1));
+        Addr data = current_ + w * trace::kWordBytes;
+        if (em.rng().chance(params_.write_fraction))
+            em.store(data, storeValue(em, data));
+        else
+            em.load(data);
+        current_ = next;
+    }
+}
+
+StackKernel::StackKernel(const StackParams &params) : params_(params)
+{
+    fvc_assert(params_.max_depth > 0 && params_.frame_words > 0,
+               "StackKernel requires frames");
+}
+
+Addr
+StackKernel::frameBase(uint32_t level) const
+{
+    return params_.stack_top -
+           (level + 1) * params_.frame_words * trace::kWordBytes;
+}
+
+void
+StackKernel::push(Emitter &em)
+{
+    Addr base = frameBase(depth_);
+    em.alloc(base, params_.frame_words * trace::kWordBytes);
+    // The prologue initializes the frame (saved registers, zeroed
+    // locals) before anything reads it — writes lead. Frames are
+    // frequent-valued or live-valued as a whole.
+    bool frequent_frame =
+        em.rng().chance(params_.init_frequent_bias);
+    for (uint32_t i = 0; i < params_.frame_words; ++i) {
+        em.store(base + i * trace::kWordBytes,
+                 frequent_frame
+                     ? em.pool().sampleFrequent(em.rng())
+                     : em.pool().sampleTail(em.rng()));
+    }
+    ++depth_;
+}
+
+void
+StackKernel::pop(Emitter &em)
+{
+    --depth_;
+    em.free(frameBase(depth_),
+            params_.frame_words * trace::kWordBytes);
+}
+
+void
+StackKernel::step(Emitter &em)
+{
+    bool can_push = depth_ < params_.max_depth;
+    bool can_pop = depth_ > 0;
+    if (can_push && (!can_pop || em.rng().chance(params_.push_bias)))
+        push(em);
+    else if (can_pop)
+        pop(em);
+
+    if (depth_ == 0)
+        return;
+    Addr base = frameBase(depth_ - 1);
+    for (uint32_t t = 0; t < params_.touches; ++t) {
+        Addr a = base + static_cast<Addr>(
+            em.rng().below(params_.frame_words) * trace::kWordBytes);
+        if (em.rng().chance(params_.write_fraction))
+            em.store(a, storeValue(em, a));
+        else
+            em.load(a);
+    }
+}
+
+CounterStreamKernel::CounterStreamKernel(
+    const CounterStreamParams &params)
+    : params_(params)
+{
+    fvc_assert(params_.words > 0,
+               "CounterStreamKernel requires words > 0");
+}
+
+Word
+CounterStreamKernel::nextValue()
+{
+    // A weak mix keeps values distinct but non-sequential, like
+    // compress's evolving hash-table contents.
+    Word v = counter_++;
+    v ^= v << 13;
+    v ^= v >> 7;
+    return v;
+}
+
+void
+CounterStreamKernel::init(Emitter &em)
+{
+    for (uint32_t i = 0; i < params_.words; ++i) {
+        Addr a = params_.base + i * trace::kWordBytes;
+        em.store(a, nextValue());
+    }
+}
+
+void
+CounterStreamKernel::step(Emitter &em)
+{
+    for (uint32_t i = 0; i < params_.burst; ++i) {
+        Addr a = params_.base + cursor_ * trace::kWordBytes;
+        if (em.rng().chance(params_.write_fraction))
+            em.store(a, nextValue());
+        else
+            em.load(a);
+        cursor_ = (cursor_ + 1) % params_.words;
+    }
+}
+
+} // namespace fvc::workload

@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Access kernels: the building blocks of synthetic workloads.
+ *
+ * Each kernel models one archetypal memory behaviour observed in the
+ * SPEC95 programs the paper studies:
+ *
+ *  - HotSpotKernel: Zipf-popular working set (symbol tables, heaps).
+ *  - ScanKernel: strided sweeps over large arrays (capacity misses).
+ *  - ConflictKernel: a few blocks whose addresses collide modulo the
+ *    cache size (conflict misses that associativity removes).
+ *  - PointerChaseKernel: linked-structure traversal (li, vortex).
+ *  - StackKernel: call-frame push/pop with region reuse.
+ *  - CounterStreamKernel: streams of mostly-distinct values
+ *    (compress/ijpeg, which exhibit no frequent value locality).
+ *
+ * Kernels emit loads/stores through an Emitter, which keeps the
+ * functional memory image consistent: loads return the value
+ * actually resident at the address.
+ */
+
+#ifndef FVC_WORKLOAD_KERNELS_HH_
+#define FVC_WORKLOAD_KERNELS_HH_
+
+#include <memory>
+#include <vector>
+
+#include "memmodel/functional_memory.hh"
+#include "trace/record.hh"
+#include "util/random.hh"
+#include "workload/value_pool.hh"
+
+namespace fvc::workload {
+
+using trace::Addr;
+using trace::Word;
+
+/**
+ * The interface kernels use to generate trace events.
+ *
+ * Implemented by the SyntheticWorkload generator; a test double is
+ * trivial to write.
+ */
+class Emitter
+{
+  public:
+    virtual ~Emitter() = default;
+
+    /** Emit a load; returns the value read from functional memory. */
+    virtual Word load(Addr addr) = 0;
+
+    /** Emit a store of @p value. */
+    virtual void store(Addr addr, Word value) = 0;
+
+    /** Emit an allocation record for [base, base+bytes). */
+    virtual void alloc(Addr base, uint64_t bytes) = 0;
+
+    /** Emit a deallocation record for [base, base+bytes). */
+    virtual void free(Addr base, uint64_t bytes) = 0;
+
+    /** Current value at @p addr without emitting a trace event. */
+    virtual Word peek(Addr addr) const = 0;
+
+    /** The value pool for the current execution phase. */
+    virtual ValuePool &pool() = 0;
+
+    /** Workload-wide RNG. */
+    virtual util::Rng &rng() = 0;
+
+    /**
+     * Probability that a store mutates the location (samples a fresh
+     * pool value) rather than rewriting the current value. Drives
+     * the Table 4 constant-address fraction.
+     */
+    virtual double mutateFraction() const = 0;
+};
+
+/** Helper: store either a fresh pool value or the resident value. */
+Word storeValue(Emitter &em, Addr addr);
+
+/**
+ * Helper: a value for an initializing store. With probability
+ * @p frequent_bias it is drawn from the pool's frequent set
+ * (structure initialization overwhelmingly writes zeros, NULLs and
+ * small constants), otherwise from the full pool.
+ */
+Word initValue(Emitter &em, double frequent_bias);
+
+/** Base class for all kernels. */
+class Kernel
+{
+  public:
+    virtual ~Kernel() = default;
+
+    /**
+     * One-time setup (data structure construction); emitted as part
+     * of the trace, like a program's initialization phase.
+     */
+    virtual void init(Emitter &) {}
+
+    /** Emit one burst of accesses. */
+    virtual void step(Emitter &em) = 0;
+};
+
+/** Parameters for HotSpotKernel. */
+struct HotSpotParams
+{
+    Addr base = 0x10000000;
+    /** Size of the popular working set, in words. */
+    uint32_t words = 4096;
+    /** Zipf skew over the working set's objects (0 = uniform). */
+    double zipf_s = 0.9;
+    /**
+     * Probability a visit is a store visit (overwriting most of the
+     * object, like re-initialization) rather than a read visit.
+     */
+    double write_fraction = 0.3;
+    /** Accesses per step. */
+    uint32_t burst = 16;
+    /**
+     * Words per object: accesses touch consecutive words within a
+     * Zipf-popular object, giving the spatial locality real data
+     * structures have.
+     */
+    uint32_t object_words = 8;
+    /** Share of store-visit values drawn from the frequent set. */
+    double init_frequent_bias = 0.8;
+};
+
+/** Zipf-popular working set accesses. */
+class HotSpotKernel : public Kernel
+{
+  public:
+    explicit HotSpotKernel(const HotSpotParams &params);
+
+    void init(Emitter &em) override;
+    void step(Emitter &em) override;
+
+  private:
+    HotSpotParams params_;
+    util::ZipfSampler zipf_;
+};
+
+/** Parameters for ScanKernel. */
+struct ScanParams
+{
+    Addr base = 0x20000000;
+    /** Extent of the scanned array, in words. */
+    uint32_t words = 65536;
+    /** Stride between consecutive accesses, in words. */
+    uint32_t stride_words = 1;
+    /**
+     * Probability an element is read-modify-written (load followed
+     * by a store to the same word) instead of just loaded.
+     */
+    double write_fraction = 0.2;
+    uint32_t burst = 32;
+    /**
+     * Share of array values drawn from the frequent set; negative
+     * means "use the pool's own mix". Big arrays usually hold live
+     * data, so a low share is typical.
+     */
+    double frequent_share = -1.0;
+};
+
+/** Strided sweep over a large array, wrapping around. */
+class ScanKernel : public Kernel
+{
+  public:
+    explicit ScanKernel(const ScanParams &params);
+
+    void init(Emitter &em) override;
+    void step(Emitter &em) override;
+
+  private:
+    ScanParams params_;
+    uint32_t cursor_ = 0;
+
+    Word arrayValue(Emitter &em);
+};
+
+/** Parameters for ConflictKernel. */
+struct ConflictParams
+{
+    Addr base = 0x30000000;
+    /** Words per conflicting block. */
+    uint32_t block_words = 8;
+    /** Number of conflicting blocks. */
+    uint32_t num_blocks = 2;
+    /**
+     * Byte distance between block bases. Making this a multiple of
+     * the DMC size forces all blocks onto the same cache index.
+     */
+    uint32_t stride_bytes = 16384;
+    /** Probability a visit is a store visit. */
+    double write_fraction = 0.2;
+    /** Word accesses per block visit. */
+    uint32_t touches = 4;
+    /** Share of the blocks' values drawn from the frequent set. */
+    double frequent_bias = 0.9;
+};
+
+/**
+ * Round-robin accesses over blocks that alias in a direct-mapped
+ * cache, producing conflict misses a set-associative cache avoids.
+ */
+class ConflictKernel : public Kernel
+{
+  public:
+    explicit ConflictKernel(const ConflictParams &params);
+
+    void init(Emitter &em) override;
+    void step(Emitter &em) override;
+
+  private:
+    ConflictParams params_;
+    uint32_t next_block_ = 0;
+};
+
+/** Parameters for PointerChaseKernel. */
+struct PointerChaseParams
+{
+    Addr heap_base = 0x40000000;
+    /** Number of list nodes. */
+    uint32_t num_nodes = 4096;
+    /** Words per node; word 0 is the next pointer. */
+    uint32_t node_words = 4;
+    /** Links followed per step. */
+    uint32_t hops = 8;
+    double write_fraction = 0.25;
+};
+
+/** Traversal of a randomly-permuted circular linked list. */
+class PointerChaseKernel : public Kernel
+{
+  public:
+    explicit PointerChaseKernel(const PointerChaseParams &params);
+
+    void init(Emitter &em) override;
+    void step(Emitter &em) override;
+
+  private:
+    PointerChaseParams params_;
+    Addr current_;
+
+    Addr nodeAddr(uint32_t index) const;
+};
+
+/** Parameters for StackKernel. */
+struct StackParams
+{
+    /** Highest stack address; frames grow downward. */
+    Addr stack_top = 0x7ffff000;
+    /** Words per frame. */
+    uint32_t frame_words = 16;
+    /** Maximum call depth. */
+    uint32_t max_depth = 64;
+    /** Probability a step pushes (vs pops) when both are possible. */
+    double push_bias = 0.5;
+    /** Local-variable touches per step. */
+    uint32_t touches = 8;
+    double write_fraction = 0.4;
+    /** Share of prologue-store values drawn from the frequent set. */
+    double init_frequent_bias = 0.92;
+};
+
+/** Call-stack push/pop with frame-local accesses. */
+class StackKernel : public Kernel
+{
+  public:
+    explicit StackKernel(const StackParams &params);
+
+    void step(Emitter &em) override;
+
+    uint32_t depth() const { return depth_; }
+
+  private:
+    StackParams params_;
+    uint32_t depth_ = 0;
+
+    Addr frameBase(uint32_t level) const;
+    void push(Emitter &em);
+    void pop(Emitter &em);
+};
+
+/** Parameters for CounterStreamKernel. */
+struct CounterStreamParams
+{
+    Addr base = 0x50000000;
+    /** Rotating buffer extent in words. */
+    uint32_t words = 32768;
+    double write_fraction = 0.5;
+    uint32_t burst = 32;
+};
+
+/**
+ * Writes mostly-distinct values (a rolling counter hashed a little)
+ * over a rotating buffer; models compress/ijpeg, which show almost
+ * no frequent value locality (Table 4: ~3-7% constant addresses).
+ */
+class CounterStreamKernel : public Kernel
+{
+  public:
+    explicit CounterStreamKernel(const CounterStreamParams &params);
+
+    void init(Emitter &em) override;
+    void step(Emitter &em) override;
+
+  private:
+    CounterStreamParams params_;
+    uint32_t cursor_ = 0;
+    uint32_t counter_ = 1;
+
+    Word nextValue();
+};
+
+} // namespace fvc::workload
+
+#endif // FVC_WORKLOAD_KERNELS_HH_

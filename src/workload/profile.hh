@@ -1,0 +1,100 @@
+/**
+ * @file
+ * BenchmarkProfile: the declarative description of one synthetic
+ * benchmark — its kernels, value pools over time, and rates.
+ */
+
+#ifndef FVC_WORKLOAD_PROFILE_HH_
+#define FVC_WORKLOAD_PROFILE_HH_
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "workload/kernels.hh"
+#include "workload/value_pool.hh"
+
+namespace fvc::workload {
+
+/** A kernel's parameters plus its share of execution. */
+struct KernelSpec
+{
+    std::variant<HotSpotParams, ScanParams, ConflictParams,
+                 PointerChaseParams, StackParams, CounterStreamParams>
+        params;
+    /** Relative probability of picking this kernel per step. */
+    double weight = 1.0;
+};
+
+/**
+ * A value-pool phase: pool in force until the given fraction of the
+ * workload's accesses have been emitted. Phases model the drift in
+ * frequently accessed values that makes 124.m88ksim's top-value
+ * ordering settle only after ~63-70% of execution (Table 3).
+ */
+struct PhaseSpec
+{
+    /** Pool applies while progress < until (fraction in (0, 1]). */
+    double until = 1.0;
+    ValuePoolSpec pool;
+};
+
+/** Full description of a synthetic benchmark. */
+struct BenchmarkProfile
+{
+    std::string name;
+    std::vector<KernelSpec> kernels;
+    std::vector<PhaseSpec> phases;
+    /**
+     * Probability that a store changes the stored value (vs
+     * rewriting it); calibrated to Table 4's constant-address
+     * percentages.
+     */
+    double mutate_fraction = 0.3;
+    /** Mean non-memory instructions between accesses. */
+    double instructions_per_access = 3.0;
+    /** Default trace length in accesses when the caller has none. */
+    uint64_t default_accesses = 2000000;
+};
+
+/** The SPECint95 benchmarks modelled by this library. */
+enum class SpecInt {
+    Go099,
+    M88ksim124,
+    Gcc126,
+    Compress129,
+    Li130,
+    Ijpeg132,
+    Perl134,
+    Vortex147,
+};
+
+/** Program input set (Table 2 input-sensitivity study). */
+enum class InputSet {
+    Ref,
+    Test,
+    Train,
+};
+
+/** Display name, e.g. "126.gcc". */
+std::string specIntName(SpecInt bench);
+
+/** All eight SPECint95 benchmarks in paper order. */
+const std::vector<SpecInt> &allSpecInt();
+
+/** The six benchmarks exhibiting frequent value locality. */
+const std::vector<SpecInt> &fvSpecInt();
+
+/** Calibrated profile for a SPECint95 benchmark. */
+BenchmarkProfile specIntProfile(SpecInt bench,
+                                InputSet input = InputSet::Ref);
+
+/** Names of the ten modelled SPECfp95 benchmarks. */
+const std::vector<std::string> &allSpecFpNames();
+
+/** Calibrated profile for a SPECfp95 benchmark by name. */
+BenchmarkProfile specFpProfile(const std::string &name);
+
+} // namespace fvc::workload
+
+#endif // FVC_WORKLOAD_PROFILE_HH_

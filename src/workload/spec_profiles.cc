@@ -1,0 +1,500 @@
+/**
+ * @file
+ * Calibrated synthetic stand-ins for the SPEC95 benchmarks.
+ *
+ * The paper traces SPEC95 binaries on reference inputs; those
+ * binaries and inputs are not redistributable, so each program is
+ * modelled as a kernel mix + value pool whose observable properties
+ * match what the paper reports:
+ *
+ *  - frequent-value occurrence/access fractions (Figure 1/2),
+ *  - constant-address percentages (Table 4) via mutate_fraction,
+ *  - conflict- vs capacity-miss dominance (Figures 13/14) via
+ *    ConflictKernel (blocks aliasing at 16 KB) vs large Zipf/scan
+ *    working sets,
+ *  - input sensitivity of the top-value sets (Table 2) by swapping
+ *    address-like frequent values between Ref/Test/Train,
+ *  - late stabilization of m88ksim/gcc/vortex top-value ordering
+ *    (Table 3) via value-pool phases.
+ */
+
+#include "workload/profile.hh"
+
+#include "util/logging.hh"
+
+namespace fvc::workload {
+
+namespace {
+
+// Address-space layout shared by the profiles.
+constexpr Addr kGlobalBase = 0x10000000;
+constexpr Addr kScanBase = 0x20000000;
+// Offset chosen so the blocks alias neither the (region-base
+// aligned) hot structures nor the stack band at any DMC size from
+// 4 Kb up: 0xB00 mod 4096 clears a <=2.75 Kb hot region at offset 0
+// and a <=0.75 Kb stack band at the top of the frame.
+constexpr Addr kConflictBase = 0x30000b00;
+constexpr Addr kHeapBase = 0x40000000;
+constexpr Addr kStreamBase = 0x50000000;
+
+/** Default tail mix for integer codes. */
+std::vector<TailSpec>
+intTails(double ptr_share = 0.3)
+{
+    return {
+        {TailKind::RandomWord, 0.25, 0, 0},
+        {TailKind::SmallInt, 0.35, 0, 8192},
+        {TailKind::PointerLike, ptr_share, kHeapBase, 0x400000},
+        {TailKind::AsciiText, 0.10, 0, 0},
+    };
+}
+
+/** Tail mix for value-churning codes (compress/ijpeg). */
+std::vector<TailSpec>
+distinctTails()
+{
+    return {
+        {TailKind::Counter, 0.6, 0x1000, 0},
+        {TailKind::RandomWord, 0.4, 0, 0},
+    };
+}
+
+/**
+ * Build a frequent set from stable (input-insensitive) values plus
+ * address-like values that differ per input set. @p replaced_test /
+ * @p replaced_train say how many of the address-like values change
+ * identity on the test/train inputs (Table 2 calibration).
+ */
+std::vector<WeightedValue>
+mixedFrequentSet(const std::vector<Word> &stable,
+                 const std::vector<Word> &addr_like, InputSet input,
+                 size_t replaced_test, size_t replaced_train,
+                 double zero_share = 0.35)
+{
+    std::vector<WeightedValue> out;
+    double w = (1.0 - zero_share) * 0.45;
+    bool first = true;
+    auto push = [&](Word v) {
+        out.push_back({v, first ? zero_share : w});
+        if (!first)
+            w *= 0.58;
+        first = false;
+    };
+    for (Word v : stable)
+        push(v);
+    size_t replaced = input == InputSet::Test
+        ? replaced_test
+        : input == InputSet::Train ? replaced_train : 0;
+    // The *last* `replaced` address-like values get input-specific
+    // identities: different inputs exercise different heap layouts.
+    for (size_t i = 0; i < addr_like.size(); ++i) {
+        Word v = addr_like[i];
+        if (addr_like.size() - i <= replaced) {
+            Word delta = input == InputSet::Test ? 0x00124000
+                                                 : 0x00257800;
+            v = (v + delta) & ~3u;
+        }
+        push(v);
+    }
+    return out;
+}
+
+ValuePoolSpec
+pool(std::vector<WeightedValue> frequent, double mass,
+     std::vector<TailSpec> tails)
+{
+    ValuePoolSpec spec;
+    spec.frequent = std::move(frequent);
+    spec.frequent_mass = mass;
+    spec.tails = std::move(tails);
+    return spec;
+}
+
+/** Reorder the top of a frequent set (used to build phases). */
+std::vector<WeightedValue>
+rotated(std::vector<WeightedValue> set, size_t lo, size_t hi)
+{
+    if (hi > set.size())
+        hi = set.size();
+    if (lo + 1 < hi) {
+        // Rotate the weights (not the identities) so the ranking of
+        // existing values changes between phases.
+        double first = set[lo].weight;
+        for (size_t i = lo; i + 1 < hi; ++i)
+            set[i].weight = set[i + 1].weight;
+        set[hi - 1].weight = first;
+    }
+    return set;
+}
+
+BenchmarkProfile
+goProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "099.go";
+    // go: board evaluation over large global arrays; capacity-miss
+    // dominated, no heap to speak of. All frequent values are small
+    // ints, so Table 2 overlap is near-total.
+    auto freq = mixedFrequentSet(
+        {0, 0xffffffffu, 1, 2, 3, 4, 0x349, 0x351a, 0x1c1, 0x2ed},
+        {}, input, 0, 0, 0.30);
+    p.phases = {{1.0, pool(freq, 0.62, intTails(0.10))}};
+    p.kernels = {
+        {HotSpotParams{kGlobalBase, 64 * 1024, 1.05, 0.17, 16, 8,
+                       0.85},
+         0.60},
+        {ScanParams{kScanBase, 32 * 1024, 1, 0.25, 24, 0.15},
+         0.22},
+        {StackParams{}, 0.18},
+    };
+    p.mutate_fraction = 0.40; // Table 4: 78.2% constant
+    return p;
+}
+
+BenchmarkProfile
+m88ksimProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "124.m88ksim";
+    // m88ksim: tiny simulated-CPU state; nearly every miss is a
+    // conflict between a handful of hot structures that alias at
+    // 16 KB. Most frequent values are addresses of those structures
+    // (Table 1), hence the low cross-input overlap in Table 2.
+    auto freq = mixedFrequentSet(
+        {0, 1, 2},
+        {0x401dcb90, 0x401ddd30, 0x401de6fc, 0x401dbfc0, 0x401dd5a0,
+         0x40264728, 0x402050bc},
+        input, 6, 6, 0.40);
+    // Ordering of the top values settles only late in the run
+    // (Table 3: 63-70%): model with weight rotations ending at 70%.
+    p.phases = {
+        {0.40, pool(rotated(freq, 1, 5), 0.78, intTails(0.35))},
+        {0.70, pool(rotated(freq, 2, 6), 0.78, intTails(0.35))},
+        {1.00, pool(freq, 0.78, intTails(0.35))},
+    };
+    p.kernels = {
+        {ConflictParams{kConflictBase, 8, 2, 65536, 0.15, 4, 0.75},
+         0.09},
+        {HotSpotParams{kGlobalBase, 704, 0.9, 0.10, 16, 8, 0.92},
+         0.83},
+        {StackParams{kGlobalBase + 0x4000000, 16, 12, 0.5, 8, 0.15,
+                     0.92},
+         0.10},
+    };
+    p.mutate_fraction = 0.007; // Table 4: 99.3% constant
+    return p;
+}
+
+BenchmarkProfile
+gccProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "126.gcc";
+    // gcc: large IR working set, mix of capacity and conflict
+    // misses; frequent set is small constants plus a few RTL node
+    // addresses. Train input compiles different source => several
+    // top values shift (Table 2: 4/7).
+    auto freq = mixedFrequentSet(
+        {0, 1, 0xe7, 0x403, 4, 0xffffffffu, 0x1b},
+        {0x40034000, 0x40204260, 0x4021470c}, input, 0, 3, 0.34);
+    // Top-7 ordering settles ~18% in (Table 3).
+    p.phases = {
+        {0.18, pool(rotated(freq, 2, 7), 0.58, intTails(0.30))},
+        {1.00, pool(freq, 0.58, intTails(0.30))},
+    };
+    p.kernels = {
+        {HotSpotParams{kGlobalBase, 48 * 1024, 1.05, 0.25, 16, 8,
+                       0.85},
+         0.42},
+        {PointerChaseParams{kHeapBase, 2048, 4, 8, 0.30}, 0.16},
+        {ScanParams{kScanBase, 24 * 1024, 1, 0.40, 24, 0.20},
+         0.12},
+        {ConflictParams{kConflictBase, 8, 2, 65536, 0.25, 4, 0.875},
+         0.08},
+        {StackParams{0x7ffff000, 16, 64, 0.5, 12, 0.55, 0.75},
+         0.22},
+    };
+    p.mutate_fraction = 0.62; // Table 4: 61.8% constant
+    return p;
+}
+
+BenchmarkProfile
+compressProfile(InputSet input)
+{
+    (void)input;
+    BenchmarkProfile p;
+    p.name = "129.compress";
+    // compress: hash tables of codes that churn constantly; almost
+    // no frequent value locality (Table 4: 3.2% constant).
+    p.phases = {{1.0, pool({{0, 1.0}}, 0.04, distinctTails())}};
+    p.kernels = {
+        {CounterStreamParams{kStreamBase, 8 * 1024, 0.55, 32},
+         0.60},
+        {ScanParams{kScanBase, 10 * 1024, 1, 0.60, 32}, 0.38},
+        {StackParams{0x7ffff000, 16, 12, 0.85, 12, 0.80}, 0.02},
+    };
+    p.mutate_fraction = 0.97;
+    return p;
+}
+
+BenchmarkProfile
+liProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "130.li";
+    // li: lisp interpreter; cons cells churn (28.8% constant) but
+    // cell values (NIL, small ints, node tags) stay frequent. The
+    // working set mostly fits in 16 KB; what misses exist are
+    // conflicts, so FVC benefit is modest and associativity erases
+    // it (Figures 10/14).
+    auto freq = mixedFrequentSet(
+        {0, 3, 4, 0x103, 0x303, 0x106},
+        {0x40230f30, 0x40233a08, 0x4022d0f8, 0x401e6d5c}, input, 0,
+        5, 0.38);
+    p.phases = {{1.0, pool(freq, 0.60, intTails(0.40))}};
+    p.kernels = {
+        {PointerChaseParams{kHeapBase, 512, 4, 8, 0.55}, 0.34},
+        {HotSpotParams{kGlobalBase, 1024, 0.9, 0.45, 16, 8, 0.55},
+         0.30},
+        {ConflictParams{kConflictBase, 8, 2, 65536, 0.30, 4, 0.875},
+         0.04},
+        {StackParams{kGlobalBase + 0x4000000, 24, 48, 0.5, 24, 0.85,
+                     0.55},
+         0.32},
+    };
+    p.mutate_fraction = 0.93; // Table 4: 28.8% constant
+    return p;
+}
+
+BenchmarkProfile
+ijpegProfile(InputSet input)
+{
+    (void)input;
+    BenchmarkProfile p;
+    p.name = "132.ijpeg";
+    // ijpeg: pixel/DCT data; values near-unique per location.
+    p.phases = {{1.0, pool({{0, 1.0}}, 0.07, distinctTails())}};
+    p.kernels = {
+        {ScanParams{kScanBase, 20 * 1024, 1, 0.60, 32}, 0.55},
+        {CounterStreamParams{kStreamBase, 8 * 1024, 0.55, 32},
+         0.43},
+        {StackParams{0x7ffff000, 16, 12, 0.85, 12, 0.80}, 0.02},
+    };
+    p.mutate_fraction = 0.94; // Table 4: 6.7% constant
+    return p;
+}
+
+BenchmarkProfile
+perlProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "134.perl";
+    // perl: interpreter with hot op-dispatch structures aliasing in
+    // the DMC; frequent values include ASCII word fragments
+    // (Table 1: 20207878 = "  xx" etc.). Only the small constants
+    // survive input changes (Table 2: 2/7).
+    auto freq = mixedFrequentSet(
+        {0, 1, 0x100},
+        {0x20207878, 0x20782078, 0x78787878, 0x40267e70, 0x40267e0c,
+         0x401e7594, 0x40269b88},
+        input, 6, 5, 0.33);
+    p.phases = {{1.0, pool(freq, 0.66, intTails(0.30))}};
+    p.kernels = {
+        {ConflictParams{kConflictBase, 8, 2, 65536, 0.20,
+                        4, 0.75},
+         0.14},
+        {HotSpotParams{kGlobalBase, 704, 0.9, 0.30, 16, 8, 0.85},
+         0.50},
+        {ScanParams{kScanBase, 32 * 1024, 1, 0.20, 24, 0.55},
+         0.10},
+        {PointerChaseParams{kHeapBase, 256, 4, 6, 0.30}, 0.06},
+        {StackParams{0x7ffff000, 16, 12, 0.5, 8, 0.40, 0.85}, 0.20},
+    };
+    p.mutate_fraction = 0.32; // Table 4: 80.4% constant
+    return p;
+}
+
+BenchmarkProfile
+vortexProfile(InputSet input)
+{
+    BenchmarkProfile p;
+    p.name = "147.vortex";
+    // vortex: object database; very large working set => capacity
+    // misses that persist under associativity; FVC benefit scales
+    // with FVC size (Figures 10/14).
+    auto freq = mixedFrequentSet(
+        {0, 0x2a00064, 1, 0xffffffffu, 0x30, 4, 5},
+        {0x402b35bc, 0x4128bdbc, 0x402324b0, 0x405aba98}, input, 5,
+        5, 0.36);
+    // Top-7 ordering settles ~29% in (Table 3).
+    p.phases = {
+        {0.29, pool(rotated(freq, 2, 8), 0.58, intTails(0.35))},
+        {1.00, pool(freq, 0.58, intTails(0.35))},
+    };
+    p.kernels = {
+        {HotSpotParams{kGlobalBase, 64 * 1024, 1.00, 0.17, 16, 8,
+                       0.85},
+         0.56},
+        {PointerChaseParams{kHeapBase, 2048, 8, 8, 0.35}, 0.08},
+        {ScanParams{kScanBase, 48 * 1024, 2, 0.25, 24, 0.15},
+         0.12},
+        {StackParams{}, 0.24},
+    };
+    p.mutate_fraction = 0.42; // Table 4: 79.9% constant
+    return p;
+}
+
+/** Frequent bit patterns common in FP data (0.0, 1.0, -1.0, ...). */
+std::vector<WeightedValue>
+fpFrequentSet(double zero_share)
+{
+    // 32-bit words of doubles/floats: 0.0 dominates (zero pages,
+    // low words of many doubles), then 1.0/2.0/0.5/-1.0 patterns.
+    std::vector<Word> patterns = {
+        0x00000000, 0x3ff00000, 0x3f800000, 0x40000000, 0xbff00000,
+        0x3fe00000, 0x40080000, 0x3f000000, 0xbf800000, 0x3fd00000,
+    };
+    std::vector<WeightedValue> out;
+    double w = (1.0 - zero_share) * 0.40;
+    for (size_t i = 0; i < patterns.size(); ++i) {
+        out.push_back({patterns[i], i == 0 ? zero_share : w});
+        if (i > 0)
+            w *= 0.7;
+    }
+    return out;
+}
+
+BenchmarkProfile
+fpProfile(const std::string &name, double mass, double zero_share,
+          uint32_t array_kwords, double write_fraction,
+          double mutate)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    std::vector<TailSpec> tails = {
+        {TailKind::RandomWord, 0.7, 0, 0},
+        {TailKind::SmallInt, 0.3, 0, 1024},
+    };
+    p.phases = {{1.0, pool(fpFrequentSet(zero_share), mass, tails)}};
+    p.kernels = {
+        {ScanParams{kScanBase, array_kwords * 1024, 1,
+                    write_fraction, 32},
+         0.60},
+        {HotSpotParams{kGlobalBase, 16 * 1024, 0.7, write_fraction,
+                       16},
+         0.30},
+        {StackParams{}, 0.10},
+    };
+    p.mutate_fraction = mutate;
+    return p;
+}
+
+} // namespace
+
+std::string
+specIntName(SpecInt bench)
+{
+    switch (bench) {
+      case SpecInt::Go099:
+        return "099.go";
+      case SpecInt::M88ksim124:
+        return "124.m88ksim";
+      case SpecInt::Gcc126:
+        return "126.gcc";
+      case SpecInt::Compress129:
+        return "129.compress";
+      case SpecInt::Li130:
+        return "130.li";
+      case SpecInt::Ijpeg132:
+        return "132.ijpeg";
+      case SpecInt::Perl134:
+        return "134.perl";
+      case SpecInt::Vortex147:
+        return "147.vortex";
+    }
+    fvc_panic("unknown SpecInt benchmark");
+}
+
+const std::vector<SpecInt> &
+allSpecInt()
+{
+    static const std::vector<SpecInt> all = {
+        SpecInt::Go099,    SpecInt::M88ksim124, SpecInt::Gcc126,
+        SpecInt::Li130,    SpecInt::Perl134,    SpecInt::Vortex147,
+        SpecInt::Compress129, SpecInt::Ijpeg132,
+    };
+    return all;
+}
+
+const std::vector<SpecInt> &
+fvSpecInt()
+{
+    static const std::vector<SpecInt> six = {
+        SpecInt::Go099, SpecInt::M88ksim124, SpecInt::Gcc126,
+        SpecInt::Li130, SpecInt::Perl134,    SpecInt::Vortex147,
+    };
+    return six;
+}
+
+BenchmarkProfile
+specIntProfile(SpecInt bench, InputSet input)
+{
+    switch (bench) {
+      case SpecInt::Go099:
+        return goProfile(input);
+      case SpecInt::M88ksim124:
+        return m88ksimProfile(input);
+      case SpecInt::Gcc126:
+        return gccProfile(input);
+      case SpecInt::Compress129:
+        return compressProfile(input);
+      case SpecInt::Li130:
+        return liProfile(input);
+      case SpecInt::Ijpeg132:
+        return ijpegProfile(input);
+      case SpecInt::Perl134:
+        return perlProfile(input);
+      case SpecInt::Vortex147:
+        return vortexProfile(input);
+    }
+    fvc_panic("unknown SpecInt benchmark");
+}
+
+const std::vector<std::string> &
+allSpecFpNames()
+{
+    static const std::vector<std::string> names = {
+        "101.tomcatv", "102.swim",  "103.su2cor", "104.hydro2d",
+        "107.mgrid",   "110.applu", "125.turb3d", "141.apsi",
+        "145.fpppp",   "146.wave5",
+    };
+    return names;
+}
+
+BenchmarkProfile
+specFpProfile(const std::string &name)
+{
+    if (name == "101.tomcatv")
+        return fpProfile(name, 0.62, 0.45, 96, 0.35, 0.45);
+    if (name == "102.swim")
+        return fpProfile(name, 0.68, 0.50, 128, 0.30, 0.40);
+    if (name == "103.su2cor")
+        return fpProfile(name, 0.55, 0.40, 96, 0.30, 0.50);
+    if (name == "104.hydro2d")
+        return fpProfile(name, 0.66, 0.48, 112, 0.30, 0.40);
+    if (name == "107.mgrid")
+        return fpProfile(name, 0.72, 0.55, 160, 0.25, 0.35);
+    if (name == "110.applu")
+        return fpProfile(name, 0.58, 0.42, 128, 0.30, 0.45);
+    if (name == "125.turb3d")
+        return fpProfile(name, 0.52, 0.38, 96, 0.35, 0.50);
+    if (name == "141.apsi")
+        return fpProfile(name, 0.56, 0.40, 112, 0.30, 0.45);
+    if (name == "145.fpppp")
+        return fpProfile(name, 0.48, 0.35, 64, 0.35, 0.55);
+    if (name == "146.wave5")
+        return fpProfile(name, 0.60, 0.44, 128, 0.30, 0.42);
+    fvc_fatal("unknown SPECfp95 benchmark: ", name);
+}
+
+} // namespace fvc::workload

@@ -1,0 +1,122 @@
+#include "workload/value_pool.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace fvc::workload {
+
+namespace {
+
+std::vector<double>
+frequentWeights(const ValuePoolSpec &spec)
+{
+    std::vector<double> w;
+    w.reserve(spec.frequent.size());
+    for (const auto &fv : spec.frequent)
+        w.push_back(fv.weight);
+    return w;
+}
+
+std::vector<double>
+tailWeights(const ValuePoolSpec &spec)
+{
+    std::vector<double> w;
+    w.reserve(spec.tails.size());
+    for (const auto &t : spec.tails)
+        w.push_back(t.weight);
+    return w;
+}
+
+} // namespace
+
+ValuePool::ValuePool(ValuePoolSpec spec)
+    : spec_(std::move(spec)),
+      ranked_(spec_.frequent),
+      frequent_sampler_(frequentWeights(spec_)),
+      tail_sampler_(tailWeights(spec_)),
+      counters_(spec_.tails.size(), 0)
+{
+    fvc_assert(!spec_.frequent.empty(),
+               "ValuePool requires frequent values");
+    fvc_assert(!spec_.tails.empty(), "ValuePool requires tails");
+    fvc_assert(spec_.frequent_mass >= 0.0 && spec_.frequent_mass <= 1.0,
+               "frequent_mass must be a probability");
+    std::stable_sort(ranked_.begin(), ranked_.end(),
+                     [](const WeightedValue &a, const WeightedValue &b) {
+                         return a.weight > b.weight;
+                     });
+}
+
+Word
+ValuePool::sample(util::Rng &rng)
+{
+    if (rng.chance(spec_.frequent_mass))
+        return sampleFrequent(rng);
+    return sampleTail(rng);
+}
+
+Word
+ValuePool::sampleFrequent(util::Rng &rng)
+{
+    return spec_.frequent[frequent_sampler_.sample(rng)].value;
+}
+
+Word
+ValuePool::sampleTail(util::Rng &rng)
+{
+    size_t which = tail_sampler_.sample(rng);
+    const TailSpec &tail = spec_.tails[which];
+    switch (tail.kind) {
+      case TailKind::RandomWord:
+        return rng.next32();
+      case TailKind::SmallInt:
+        return static_cast<Word>(
+            rng.below(tail.span ? tail.span : 1024));
+      case TailKind::PointerLike: {
+        Word span = tail.span ? tail.span : 0x100000;
+        return tail.base +
+               static_cast<Word>(
+                   rng.below(span / trace::kWordBytes) *
+                   trace::kWordBytes);
+      }
+      case TailKind::AsciiText: {
+        Word w = 0;
+        for (int i = 0; i < 4; ++i) {
+            // Printable ASCII, biased toward lowercase letters.
+            uint32_t c = rng.chance(0.7)
+                ? 'a' + static_cast<uint32_t>(rng.below(26))
+                : 0x20 + static_cast<uint32_t>(rng.below(95));
+            w = (w << 8) | c;
+        }
+        return w;
+      }
+      case TailKind::Counter:
+        return tail.base + static_cast<Word>(counters_[which]++);
+    }
+    fvc_panic("unreachable tail kind");
+}
+
+std::vector<WeightedValue>
+smallIntFrequentSet(size_t count, double zero_share)
+{
+    fvc_assert(count >= 1, "need at least one frequent value");
+    static const Word canonical[] = {
+        0, 0xffffffffu, 1, 2, 3, 4, 8, 0x10, 0x1c, 0x100,
+    };
+    std::vector<WeightedValue> out;
+    double remaining = 1.0 - zero_share;
+    double decay = 0.55;
+    double w = remaining * (1.0 - decay);
+    for (size_t i = 0; i < count; ++i) {
+        Word v = i < std::size(canonical)
+            ? canonical[i]
+            : static_cast<Word>(0x200 + i);
+        out.push_back({v, i == 0 ? zero_share : w});
+        if (i > 0)
+            w *= decay;
+    }
+    return out;
+}
+
+} // namespace fvc::workload

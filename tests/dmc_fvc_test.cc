@@ -1,0 +1,284 @@
+/**
+ * @file
+ * Protocol tests for DmcFvcSystem: every transfer rule of the
+ * paper's Section 3, the exclusivity invariant, and randomized
+ * data-integrity cross-checks.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/dmc_fvc_system.hh"
+#include "util/random.hh"
+
+namespace co = fvc::core;
+namespace fc = fvc::cache;
+namespace ft = fvc::trace;
+using ft::Addr;
+using ft::Word;
+
+namespace {
+
+fc::CacheConfig
+tinyDmc()
+{
+    fc::CacheConfig cfg;
+    cfg.size_bytes = 128; // 4 lines of 32B
+    cfg.line_bytes = 32;
+    return cfg;
+}
+
+co::FvcConfig
+tinyFvc()
+{
+    co::FvcConfig cfg;
+    cfg.entries = 4;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    return cfg;
+}
+
+co::FrequentValueEncoding
+topSeven()
+{
+    return co::FrequentValueEncoding(
+        {0, 0xffffffffu, 1, 2, 4, 8, 10}, 3);
+}
+
+std::unique_ptr<co::DmcFvcSystem>
+makeSystem()
+{
+    return std::make_unique<co::DmcFvcSystem>(tinyDmc(), tinyFvc(),
+                                              topSeven());
+}
+
+} // namespace
+
+TEST(DmcFvcProtocolTest, DmcHitServesNormally)
+{
+    auto sys = makeSystem();
+    sys->access({ft::Op::Store, 0x100, 42, 1});
+    auto result = sys->access({ft::Op::Load, 0x100, 42, 2});
+    EXPECT_EQ(result.where, fc::HitWhere::MainCache);
+    EXPECT_EQ(result.loaded, 42u);
+}
+
+TEST(DmcFvcProtocolTest, EvictedFrequentLineHitsInFvc)
+{
+    auto sys = makeSystem();
+    // Fill line A with a frequent value via store-then-evict.
+    sys->access({ft::Op::Store, 0x000, 12345, 1}); // non-frequent:
+                                                   // goes to DMC
+    sys->access({ft::Op::Store, 0x004, 1, 2});
+    // Evict A by loading B at the same DMC index (stride 128).
+    sys->access({ft::Op::Load, 0x080, 0, 3});
+    // A's frequent word must now be served by the FVC.
+    auto result = sys->access({ft::Op::Load, 0x004, 1, 4});
+    EXPECT_EQ(result.where, fc::HitWhere::AuxCache);
+    EXPECT_EQ(result.loaded, 1u);
+    EXPECT_EQ(sys->fvcStats().fvc_read_hits, 1u);
+    // The line stays in the FVC, not the DMC.
+    EXPECT_FALSE(sys->dmc().probe(0x004));
+    EXPECT_TRUE(sys->fvc().tagMatch(0x004));
+}
+
+TEST(DmcFvcProtocolTest, PartialMissMergesIntoDmc)
+{
+    auto sys = makeSystem();
+    sys->access({ft::Op::Store, 0x000, 12345, 1});
+    sys->access({ft::Op::Store, 0x004, 1, 2});
+    sys->access({ft::Op::Load, 0x080, 0, 3}); // evict A into FVC
+    // Update the frequent word while it lives in the FVC.
+    auto wr = sys->access({ft::Op::Store, 0x004, 2, 4});
+    EXPECT_EQ(wr.where, fc::HitWhere::AuxCache);
+    // Now read the non-frequent word: a partial miss that must
+    // merge the FVC's newer value into the refetched line.
+    auto result = sys->access({ft::Op::Load, 0x000, 12345, 5});
+    EXPECT_EQ(result.where, fc::HitWhere::Miss);
+    EXPECT_EQ(result.loaded, 12345u);
+    EXPECT_EQ(sys->fvcStats().partial_misses, 1u);
+    // Line moved to DMC; FVC entry retired (exclusivity).
+    EXPECT_TRUE(sys->dmc().probe(0x000));
+    EXPECT_FALSE(sys->fvc().tagMatch(0x000));
+    // The merged line carries the FVC's updated word.
+    EXPECT_EQ(sys->dmc().readWord(0x004), 2u);
+}
+
+TEST(DmcFvcProtocolTest, WriteOfNonFrequentValueToFvcLineMisses)
+{
+    auto sys = makeSystem();
+    sys->access({ft::Op::Store, 0x004, 1, 1});
+    sys->access({ft::Op::Load, 0x080, 0, 2}); // evict into FVC
+    ASSERT_TRUE(sys->fvc().tagMatch(0x004));
+    auto result = sys->access({ft::Op::Store, 0x004, 99999, 3});
+    EXPECT_EQ(result.where, fc::HitWhere::Miss);
+    EXPECT_TRUE(sys->dmc().probe(0x004));
+    EXPECT_EQ(sys->dmc().readWord(0x004), 99999u);
+    EXPECT_FALSE(sys->fvc().tagMatch(0x004));
+}
+
+TEST(DmcFvcProtocolTest, FrequentWriteMissAllocatesInFvc)
+{
+    auto sys = makeSystem();
+    auto result = sys->access({ft::Op::Store, 0x204, 8, 1});
+    EXPECT_EQ(result.where, fc::HitWhere::Miss);
+    EXPECT_EQ(sys->fvcStats().write_allocations, 1u);
+    // No memory fetch happened.
+    EXPECT_EQ(sys->stats().fills, 0u);
+    EXPECT_EQ(sys->stats().fetch_bytes, 0u);
+    // Line is in the FVC only, with the other words non-frequent.
+    EXPECT_TRUE(sys->fvc().tagMatch(0x204));
+    EXPECT_FALSE(sys->dmc().probe(0x204));
+    EXPECT_EQ(sys->fvc().readWord(0x204), 8u);
+    EXPECT_FALSE(sys->fvc().readWord(0x200).has_value());
+    // A subsequent frequent write to a sibling word hits.
+    auto wr = sys->access({ft::Op::Store, 0x208, 1, 2});
+    EXPECT_EQ(wr.where, fc::HitWhere::AuxCache);
+}
+
+TEST(DmcFvcProtocolTest, NonFrequentWriteMissFetchesIntoDmc)
+{
+    auto sys = makeSystem();
+    auto result = sys->access({ft::Op::Store, 0x204, 31337, 1});
+    EXPECT_EQ(result.where, fc::HitWhere::Miss);
+    EXPECT_EQ(sys->fvcStats().write_allocations, 0u);
+    EXPECT_EQ(sys->stats().fills, 1u);
+    EXPECT_TRUE(sys->dmc().probe(0x204));
+}
+
+TEST(DmcFvcProtocolTest, BarrenEvictionsSkipped)
+{
+    auto sys = makeSystem();
+    // Fill a line with only non-frequent values (every word: the
+    // fetched line's background zeros are themselves frequent).
+    for (ft::Addr off = 0; off < 32; off += 4)
+        sys->access({ft::Op::Store, off, 111111 + off, 1});
+    sys->access({ft::Op::Load, 0x080, 0, 3}); // evict it
+    EXPECT_EQ(sys->fvcStats().insertions_skipped, 1u);
+    EXPECT_FALSE(sys->fvc().tagMatch(0x000));
+}
+
+TEST(DmcFvcProtocolTest, DirtyFvcEvictionWritesBack)
+{
+    auto sys = makeSystem();
+    // Write-allocate a line, making the FVC entry dirty.
+    sys->access({ft::Op::Store, 0x204, 8, 1});
+    // Displace it with a write-allocation aliasing in the 4-entry
+    // FVC (reach 128 bytes).
+    sys->access({ft::Op::Store, 0x204 + 128, 8, 2});
+    EXPECT_EQ(sys->fvcStats().fvc_writebacks, 1u);
+    EXPECT_EQ(sys->memoryImage().read(0x204), 8u);
+    // Only the frequent word was written (4 bytes).
+    EXPECT_EQ(sys->stats().writeback_bytes, 4u);
+}
+
+TEST(DmcFvcProtocolTest, ExclusivityAfterEveryTransition)
+{
+    auto sys = makeSystem();
+    fvc::util::Rng rng(9);
+    std::vector<Word> pool = {0, 1, 2, 8, 31337, 99999};
+    for (int i = 0; i < 5000; ++i) {
+        Addr addr = static_cast<Addr>(rng.below(64) * 4 +
+                                      rng.below(4) * 128);
+        Word value = pool[rng.below(pool.size())];
+        ft::Op op = rng.chance(0.5) ? ft::Op::Load : ft::Op::Store;
+        sys->access({op, addr, value, 0});
+        ASSERT_TRUE(sys->exclusive(addr));
+    }
+}
+
+TEST(DmcFvcProtocolTest, FlushDrainsBothStructures)
+{
+    auto sys = makeSystem();
+    sys->access({ft::Op::Store, 0x100, 31337, 1}); // DMC dirty
+    sys->access({ft::Op::Store, 0x304, 8, 2});     // FVC dirty
+    sys->flush();
+    EXPECT_EQ(sys->memoryImage().read(0x100), 31337u);
+    EXPECT_EQ(sys->memoryImage().read(0x304), 8u);
+    EXPECT_EQ(sys->dmc().validLines(), 0u);
+    EXPECT_EQ(sys->fvc().validLines(), 0u);
+}
+
+TEST(DmcFvcPolicyTest, WriteAllocateCanBeDisabled)
+{
+    co::DmcFvcPolicy policy;
+    policy.write_allocate_frequent = false;
+    co::DmcFvcSystem sys(tinyDmc(), tinyFvc(), topSeven(), policy);
+    sys.access({ft::Op::Store, 0x204, 8, 1});
+    EXPECT_EQ(sys.fvcStats().write_allocations, 0u);
+    EXPECT_TRUE(sys.dmc().probe(0x204));
+}
+
+TEST(DmcFvcPolicyTest, BarrenInsertionCanBeEnabled)
+{
+    co::DmcFvcPolicy policy;
+    policy.skip_barren_insertions = false;
+    co::DmcFvcSystem sys(tinyDmc(), tinyFvc(), topSeven(), policy);
+    sys.access({ft::Op::Store, 0x000, 111111, 1});
+    sys.access({ft::Op::Load, 0x080, 0, 2});
+    EXPECT_EQ(sys.fvcStats().insertions, 1u);
+    EXPECT_TRUE(sys.fvc().tagMatch(0x000));
+}
+
+/**
+ * Randomized data-integrity property over DMC/FVC geometries: the
+ * combined system must behave exactly like flat memory, and flush
+ * must leave the memory image equal to the reference.
+ */
+class DmcFvcIntegrityTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint32_t, uint32_t, uint32_t, unsigned>>
+{
+};
+
+TEST_P(DmcFvcIntegrityTest, MatchesFlatMemory)
+{
+    auto [dmc_kb, line, entries, bits] = GetParam();
+    fc::CacheConfig dmc;
+    dmc.size_bytes = dmc_kb * 1024;
+    dmc.line_bytes = line;
+    co::FvcConfig fvc;
+    fvc.entries = entries;
+    fvc.line_bytes = line;
+    fvc.code_bits = bits;
+
+    std::vector<Word> frequent;
+    for (uint32_t i = 0; i < (1u << bits) - 1; ++i)
+        frequent.push_back(i); // 0, 1, 2, ...
+    co::DmcFvcSystem sys(dmc, fvc,
+                         co::FrequentValueEncoding(frequent, bits));
+
+    std::map<Addr, Word> reference;
+    fvc::util::Rng rng(dmc_kb * 131 + entries);
+    for (int i = 0; i < 30000; ++i) {
+        Addr addr = static_cast<Addr>(rng.below(2048) * 4 +
+                                      rng.below(4) * 65536);
+        if (rng.chance(0.45)) {
+            // Mix of frequent and non-frequent stored values.
+            Word value = rng.chance(0.6)
+                ? static_cast<Word>(rng.below(frequent.size()))
+                : rng.next32();
+            reference[addr] = value;
+            sys.access({ft::Op::Store, addr, value, 0});
+        } else {
+            auto result = sys.access({ft::Op::Load, addr, 0, 0});
+            Word expect =
+                reference.count(addr) ? reference[addr] : 0;
+            ASSERT_EQ(result.loaded, expect)
+                << "addr " << std::hex << addr;
+        }
+    }
+    sys.flush();
+    for (const auto &[addr, value] : reference)
+        ASSERT_EQ(sys.memoryImage().read(addr), value);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, DmcFvcIntegrityTest,
+    ::testing::Values(std::make_tuple(1u, 32u, 64u, 3u),
+                      std::make_tuple(4u, 32u, 512u, 3u),
+                      std::make_tuple(4u, 16u, 128u, 2u),
+                      std::make_tuple(16u, 64u, 256u, 1u),
+                      std::make_tuple(8u, 8u, 512u, 3u),
+                      std::make_tuple(2u, 32u, 16u, 4u)));

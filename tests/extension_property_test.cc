@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Property tests for the extension systems — compressed cache,
+ * adaptive (online-trained) FVC, and two-level hierarchy — swept
+ * across every benchmark profile: loads must return the trace's
+ * values and the flushed memory image must equal the generator's
+ * ground truth, exactly as for the core systems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/two_level.hh"
+#include "core/adaptive_system.hh"
+#include "core/compressed_cache.hh"
+#include "harness/runner.hh"
+
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace fc = fvc::cache;
+namespace co = fvc::core;
+namespace ft = fvc::trace;
+
+namespace {
+
+constexpr uint64_t kAccesses = 30000;
+
+void
+checkedReplay(const fh::PreparedTrace &trace, fc::CacheSystem &sys)
+{
+    trace.initial_image.forEachInteresting(
+        [&](ft::Addr addr, ft::Word value) {
+            sys.memoryImage().write(addr, value);
+        });
+    for (const auto &rec : trace.records) {
+        if (!rec.isAccess())
+            continue;
+        auto result = sys.access(rec);
+        if (rec.isLoad()) {
+            ASSERT_EQ(result.loaded, rec.value)
+                << sys.describe() << " load at " << std::hex
+                << rec.addr;
+        }
+    }
+    sys.flush();
+    bool image_ok = true;
+    trace.final_image.forEachInteresting(
+        [&](ft::Addr addr, ft::Word value) {
+            if (sys.memoryImage().read(addr) != value)
+                image_ok = false;
+        });
+    ASSERT_TRUE(image_ok) << sys.describe();
+}
+
+} // namespace
+
+class ExtensionPropertyTest
+    : public ::testing::TestWithParam<fw::SpecInt>
+{
+};
+
+TEST_P(ExtensionPropertyTest, CompressedCachePreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 121);
+    co::CompressedCacheConfig cfg;
+    cfg.size_bytes = 4 * 1024;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    co::CompressedDataCache sys(
+        cfg, co::FrequentValueEncoding(trace.frequent_values, 3));
+    checkedReplay(trace, sys);
+}
+
+TEST_P(ExtensionPropertyTest, AdaptiveSystemPreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 122);
+    fc::CacheConfig dmc;
+    dmc.size_bytes = 4 * 1024;
+    dmc.line_bytes = 32;
+    co::FvcConfig fvc;
+    fvc.entries = 128;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    co::AdaptiveTrainPolicy policy;
+    policy.warmup_accesses = 3000;
+    policy.retrain_interval = 9000;
+    co::AdaptiveDmcFvcSystem sys(dmc, fvc, policy);
+    checkedReplay(trace, sys);
+    EXPECT_GE(sys.adaptiveStats().trainings, 2u);
+}
+
+TEST_P(ExtensionPropertyTest, TwoLevelPreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 123);
+    fc::CacheConfig l1, l2;
+    l1.size_bytes = 4 * 1024;
+    l1.line_bytes = 32;
+    l2.size_bytes = 32 * 1024;
+    l2.line_bytes = 32;
+    l2.assoc = 4;
+    fc::TwoLevelSystem sys(l1, l2);
+    checkedReplay(trace, sys);
+}
+
+TEST_P(ExtensionPropertyTest, CompressedCacheNeverBelowDoubleDmc)
+{
+    // Sanity bound: a compressed cache of size S can at best act
+    // like an uncompressed cache of size 2S; it must not beat it.
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 124);
+
+    fc::CacheConfig doubled;
+    doubled.size_bytes = 8 * 1024;
+    doubled.line_bytes = 32;
+    doubled.assoc = 2; // generous: also halves conflicts
+    fc::DmcSystem upper(doubled);
+    fh::replay(trace, upper);
+
+    co::CompressedCacheConfig cfg;
+    cfg.size_bytes = 4 * 1024;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    co::CompressedDataCache comp(
+        cfg, co::FrequentValueEncoding(trace.frequent_values, 3));
+    fh::replay(trace, comp);
+
+    // Allow 2% slack for replacement-order differences.
+    EXPECT_GE(static_cast<double>(comp.stats().misses()) * 1.02,
+              static_cast<double>(upper.stats().misses()))
+        << profile.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, ExtensionPropertyTest,
+    ::testing::ValuesIn(fw::allSpecInt()),
+    [](const ::testing::TestParamInfo<fw::SpecInt> &info) {
+        std::string name = fw::specIntName(info.param);
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });

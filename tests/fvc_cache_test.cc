@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Unit tests for the FrequentValueCache array.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/fvc_cache.hh"
+#include "core/size_model.hh"
+
+namespace co = fvc::core;
+using fvc::trace::Addr;
+using fvc::trace::Word;
+
+namespace {
+
+co::FrequentValueEncoding
+topSeven()
+{
+    return co::FrequentValueEncoding(
+        {0, 0xffffffffu, 1, 2, 4, 8, 10}, 3);
+}
+
+co::FvcConfig
+smallConfig(uint32_t entries = 16)
+{
+    co::FvcConfig cfg;
+    cfg.entries = entries;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    return cfg;
+}
+
+} // namespace
+
+TEST(FvcConfigTest, StorageBits)
+{
+    co::FvcConfig cfg;
+    cfg.entries = 512;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    cfg.validate();
+    // Tag = 32 - 5 offset - 9 index = 18 bits; + 2 state + 24 data.
+    EXPECT_EQ(cfg.storageBits(), 512u * (18 + 2 + 24));
+    // The paper calls this configuration "1.5Kb" of data.
+    EXPECT_EQ(512u * 24 / 8, 1536u);
+}
+
+TEST(FvcCacheTest, InsertThenReadFrequentWord)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    std::vector<Word> line = {0, 99999, 1, 2, 4, 8, 10, 77777};
+    EXPECT_FALSE(fvc.insertLine(0x1000, line, false).has_value());
+    EXPECT_TRUE(fvc.tagMatch(0x1000));
+    EXPECT_TRUE(fvc.tagMatch(0x101c));
+
+    EXPECT_EQ(fvc.readWord(0x1000), 0u);
+    EXPECT_EQ(fvc.readWord(0x1008), 1u);
+    EXPECT_EQ(fvc.readWord(0x1018), 10u);
+    // Non-frequent words decode to nothing.
+    EXPECT_FALSE(fvc.readWord(0x1004).has_value());
+    EXPECT_FALSE(fvc.readWord(0x101c).has_value());
+}
+
+TEST(FvcCacheTest, TagMissReadsNothing)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    std::vector<Word> line(8, 0);
+    fvc.insertLine(0x1000, line, false);
+    EXPECT_FALSE(fvc.tagMatch(0x2000));
+    EXPECT_FALSE(fvc.readWord(0x2000).has_value());
+}
+
+TEST(FvcCacheTest, WriteHitUpdatesCode)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    std::vector<Word> line(8, 0);
+    fvc.insertLine(0x1000, line, false);
+    EXPECT_TRUE(fvc.writeWord(0x1004, 4));
+    EXPECT_EQ(fvc.readWord(0x1004), 4u);
+    // Writing a non-frequent value is rejected (a miss upstream).
+    EXPECT_FALSE(fvc.writeWord(0x1008, 12345));
+    EXPECT_EQ(fvc.readWord(0x1008), 0u);
+}
+
+TEST(FvcCacheTest, WriteMarksDirtyAndEvictReportsValues)
+{
+    co::FrequentValueCache fvc(smallConfig(2), topSeven());
+    std::vector<Word> line = {0, 31337, 1, 1, 1, 1, 1, 1};
+    fvc.insertLine(0x1000, line, false);
+    fvc.writeWord(0x1000, 2);
+
+    // Force an eviction with an aliasing insert (2 entries, 32B
+    // lines -> reach 64B; stride 64 aliases).
+    std::vector<Word> other(8, 4);
+    auto evicted = fvc.insertLine(0x1000 + 64, other, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_EQ(evicted->base, 0x1000u);
+    EXPECT_TRUE(evicted->dirty);
+    EXPECT_EQ(evicted->words[0], 2u);       // updated by write
+    EXPECT_FALSE(evicted->words[1].has_value()); // non-frequent
+    EXPECT_EQ(evicted->words[2], 1u);
+}
+
+TEST(FvcCacheTest, CleanInsertEvictsClean)
+{
+    co::FrequentValueCache fvc(smallConfig(2), topSeven());
+    std::vector<Word> line(8, 0);
+    fvc.insertLine(0x1000, line, false);
+    auto evicted = fvc.insertLine(0x1000 + 64, line, false);
+    ASSERT_TRUE(evicted.has_value());
+    EXPECT_FALSE(evicted->dirty);
+}
+
+TEST(FvcCacheTest, WriteAllocateMarksOthersNonFrequent)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    auto evicted = fvc.writeAllocate(0x1008, 8);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_TRUE(fvc.tagMatch(0x1000));
+    EXPECT_EQ(fvc.readWord(0x1008), 8u);
+    for (Addr off = 0; off < 32; off += 4) {
+        if (off != 8) {
+            EXPECT_FALSE(fvc.readWord(0x1000 + off).has_value());
+        }
+    }
+}
+
+TEST(FvcCacheTest, InvalidateRemovesEntry)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    std::vector<Word> line(8, 1);
+    fvc.insertLine(0x1000, line, true);
+    auto out = fvc.invalidate(0x1000);
+    ASSERT_TRUE(out.has_value());
+    EXPECT_TRUE(out->dirty);
+    EXPECT_FALSE(fvc.tagMatch(0x1000));
+    EXPECT_EQ(fvc.validLines(), 0u);
+}
+
+TEST(FvcCacheTest, FrequentCodeFraction)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    // Half the words frequent.
+    std::vector<Word> line = {0, 55555, 1, 66666, 2, 77777, 4,
+                              88888};
+    fvc.insertLine(0x1000, line, false);
+    EXPECT_NEAR(fvc.frequentCodeFraction(), 0.5, 1e-9);
+    EXPECT_EQ(fvc.frequentWordCount(line), 4u);
+}
+
+TEST(FvcCacheTest, FlushReturnsEverything)
+{
+    co::FrequentValueCache fvc(smallConfig(), topSeven());
+    std::vector<Word> line(8, 0);
+    fvc.insertLine(0x1000, line, false);
+    fvc.insertLine(0x2020, line, true);
+    auto all = fvc.flush();
+    EXPECT_EQ(all.size(), 2u);
+    EXPECT_EQ(fvc.validLines(), 0u);
+    EXPECT_EQ(fvc.frequentCodeFraction(), 0.0);
+}
+
+TEST(FvcCacheTest, SetAssociativeFvcHoldsAliases)
+{
+    co::FvcConfig cfg = smallConfig(4);
+    cfg.assoc = 2;
+    co::FrequentValueCache fvc(cfg, topSeven());
+    std::vector<Word> line(8, 1);
+    // Two lines aliasing in a 2-set FVC (reach 64B).
+    fvc.insertLine(0x1000, line, false);
+    auto evicted = fvc.insertLine(0x1040, line, false);
+    EXPECT_FALSE(evicted.has_value());
+    EXPECT_TRUE(fvc.tagMatch(0x1000));
+    EXPECT_TRUE(fvc.tagMatch(0x1040));
+}
+
+TEST(FvcCacheTest, CompressionFactorMatchesPaper)
+{
+    // 32-byte line, 3-bit codes, 40% frequent content => 4.27x.
+    co::FvcConfig cfg = smallConfig();
+    EXPECT_NEAR(co::compressionFactor(cfg, 0.4), 4.266, 0.01);
+}

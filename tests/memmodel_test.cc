@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for FunctionalMemory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "memmodel/functional_memory.hh"
+
+namespace fm = fvc::memmodel;
+
+TEST(FunctionalMemoryTest, UnwrittenReadsZero)
+{
+    fm::FunctionalMemory mem;
+    EXPECT_EQ(mem.read(0x1234'5670), 0u);
+    EXPECT_FALSE(mem.isReferenced(0x1234'5670));
+    EXPECT_EQ(mem.pageCount(), 0u);
+}
+
+TEST(FunctionalMemoryTest, WriteThenRead)
+{
+    fm::FunctionalMemory mem;
+    mem.write(0x100, 42);
+    EXPECT_EQ(mem.read(0x100), 42u);
+    EXPECT_TRUE(mem.isReferenced(0x100));
+    EXPECT_FALSE(mem.isReferenced(0x104));
+}
+
+TEST(FunctionalMemoryTest, ReadReferencedMarksInterest)
+{
+    fm::FunctionalMemory mem;
+    EXPECT_EQ(mem.readReferenced(0x200), 0u);
+    EXPECT_TRUE(mem.isReferenced(0x200));
+    EXPECT_TRUE(mem.isInteresting(0x200));
+}
+
+TEST(FunctionalMemoryTest, SparsePages)
+{
+    fm::FunctionalMemory mem;
+    mem.write(0x0000'0000, 1);
+    mem.write(0x7fff'fffc, 2);
+    mem.write(0x4000'0000, 3);
+    EXPECT_EQ(mem.pageCount(), 3u);
+    EXPECT_EQ(mem.read(0x7fff'fffc), 2u);
+}
+
+TEST(FunctionalMemoryTest, FreeRetiresInterest)
+{
+    fm::FunctionalMemory mem;
+    mem.write(0x1000, 7);
+    mem.write(0x1004, 8);
+    EXPECT_EQ(mem.interestingWords(), 2u);
+    mem.freeRegion(0x1000, 4);
+    EXPECT_FALSE(mem.isInteresting(0x1000));
+    EXPECT_TRUE(mem.isInteresting(0x1004));
+    EXPECT_EQ(mem.interestingWords(), 1u);
+}
+
+TEST(FunctionalMemoryTest, ReallocationRestoresInterest)
+{
+    fm::FunctionalMemory mem;
+    mem.write(0x1000, 7);
+    mem.freeRegion(0x1000, 4);
+    mem.allocRegion(0x1000, 4);
+    // Allocated but not yet referenced in the new epoch.
+    EXPECT_FALSE(mem.isInteresting(0x1000));
+    mem.write(0x1000, 9);
+    EXPECT_TRUE(mem.isInteresting(0x1000));
+    EXPECT_EQ(mem.read(0x1000), 9u);
+}
+
+TEST(FunctionalMemoryTest, ForEachInterestingVisitsExactly)
+{
+    fm::FunctionalMemory mem;
+    std::set<fm::Addr> expected;
+    for (fm::Addr a : {0x100u, 0x104u, 0x20000u, 0x5000'0000u}) {
+        mem.write(a, a / 4);
+        expected.insert(a);
+    }
+    mem.freeRegion(0x104, 4);
+    expected.erase(0x104);
+
+    std::set<fm::Addr> seen;
+    mem.forEachInteresting([&](fm::Addr addr, fm::Word value) {
+        EXPECT_EQ(value, addr / 4);
+        seen.insert(addr);
+    });
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(FunctionalMemoryTest, DeepCopyIsIndependent)
+{
+    fm::FunctionalMemory a;
+    a.write(0x100, 1);
+    fm::FunctionalMemory b(a);
+    b.write(0x100, 2);
+    b.write(0x200, 3);
+    EXPECT_EQ(a.read(0x100), 1u);
+    EXPECT_EQ(a.read(0x200), 0u);
+    EXPECT_EQ(b.read(0x100), 2u);
+}
+
+TEST(FunctionalMemoryTest, SameInterestingContents)
+{
+    fm::FunctionalMemory a, b;
+    a.write(0x100, 1);
+    b.write(0x100, 1);
+    EXPECT_TRUE(fm::FunctionalMemory::sameInterestingContents(a, b));
+    b.write(0x104, 5);
+    EXPECT_FALSE(fm::FunctionalMemory::sameInterestingContents(a, b));
+    a.write(0x104, 5);
+    EXPECT_TRUE(fm::FunctionalMemory::sameInterestingContents(a, b));
+    a.write(0x104, 6);
+    EXPECT_FALSE(fm::FunctionalMemory::sameInterestingContents(a, b));
+}
+
+TEST(FunctionalMemoryTest, ClearDropsEverything)
+{
+    fm::FunctionalMemory mem;
+    mem.write(0x100, 1);
+    mem.clear();
+    EXPECT_EQ(mem.pageCount(), 0u);
+    EXPECT_EQ(mem.read(0x100), 0u);
+    EXPECT_EQ(mem.interestingWords(), 0u);
+}
+
+TEST(FunctionalMemoryTest, PageBoundaryWrites)
+{
+    fm::FunctionalMemory mem;
+    // Last word of one page, first word of the next.
+    fm::Addr last = fm::kPageBytes - 4;
+    mem.write(last, 11);
+    mem.write(fm::kPageBytes, 22);
+    EXPECT_EQ(mem.read(last), 11u);
+    EXPECT_EQ(mem.read(fm::kPageBytes), 22u);
+    EXPECT_EQ(mem.pageCount(), 2u);
+}

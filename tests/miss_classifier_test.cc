@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the 3C miss classifier.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache_system.hh"
+#include "harness/runner.hh"
+#include "profiling/miss_classifier.hh"
+
+namespace fp = fvc::profiling;
+namespace fc = fvc::cache;
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace ft = fvc::trace;
+
+TEST(MissClassifierTest, FirstTouchIsCompulsory)
+{
+    fp::MissClassifier mc(4, 32);
+    EXPECT_EQ(mc.classify(0x1000), fp::MissClass::Compulsory);
+    mc.observe(0x1000);
+    // Same line, different word: not compulsory any more.
+    EXPECT_NE(mc.classify(0x1004), fp::MissClass::Compulsory);
+}
+
+TEST(MissClassifierTest, ConflictWhenShadowStillHolds)
+{
+    fp::MissClassifier mc(4, 32);
+    mc.observe(0x1000);
+    mc.observe(0x2000);
+    // Both lines fit the 4-line shadow: a miss on either would be
+    // the direct-mapped cache's fault.
+    EXPECT_EQ(mc.classify(0x1000), fp::MissClass::Conflict);
+}
+
+TEST(MissClassifierTest, CapacityWhenShadowEvicted)
+{
+    fp::MissClassifier mc(2, 32);
+    mc.observe(0x1000);
+    mc.observe(0x2000);
+    mc.observe(0x3000); // evicts 0x1000 from the 2-line shadow
+    EXPECT_EQ(mc.classify(0x1000), fp::MissClass::Capacity);
+    EXPECT_EQ(mc.classify(0x3000), fp::MissClass::Conflict);
+}
+
+TEST(MissClassifierTest, LruTouchKeepsLineHot)
+{
+    fp::MissClassifier mc(2, 32);
+    mc.observe(0x1000);
+    mc.observe(0x2000);
+    mc.observe(0x1000); // touch: 0x2000 becomes LRU
+    mc.observe(0x3000); // evicts 0x2000
+    EXPECT_EQ(mc.classify(0x1000), fp::MissClass::Conflict);
+    EXPECT_EQ(mc.classify(0x2000), fp::MissClass::Capacity);
+}
+
+TEST(MissClassifierTest, AccessTallies)
+{
+    fp::MissClassifier mc(2, 32);
+    mc.access(0x1000, true);  // compulsory
+    mc.access(0x2000, true);  // compulsory
+    mc.access(0x1000, true);  // conflict (still in shadow)
+    mc.access(0x3000, true);  // compulsory; evicts 0x2000
+    mc.access(0x2000, true);  // capacity
+    auto b = mc.breakdown();
+    EXPECT_EQ(b.compulsory, 3u);
+    EXPECT_EQ(b.conflict, 1u);
+    EXPECT_EQ(b.capacity, 1u);
+    EXPECT_EQ(b.total(), 5u);
+}
+
+TEST(MissClassifierTest, M88ksimIsConflictDominated)
+{
+    // The workload-level claim behind Figure 14.
+    auto classify = [](fw::SpecInt bench) {
+        auto profile = fw::specIntProfile(bench);
+        auto trace = fh::prepareTrace(profile, 80000, 101);
+        fc::CacheConfig cfg;
+        cfg.size_bytes = 16 * 1024;
+        cfg.line_bytes = 32;
+        fc::DmcSystem sys(cfg);
+        fp::MissClassifier mc(cfg.lines(), cfg.line_bytes);
+        // Install the initial image so misses reflect steady state.
+        trace.initial_image.forEachInteresting(
+            [&](ft::Addr addr, ft::Word value) {
+                sys.memoryImage().write(addr, value);
+            });
+        for (const auto &rec : trace.records) {
+            if (!rec.isAccess())
+                continue;
+            auto result = sys.access(rec);
+            mc.access(rec.addr, !result.isHit());
+        }
+        return mc.breakdown();
+    };
+
+    auto m88k = classify(fw::SpecInt::M88ksim124);
+    EXPECT_GT(m88k.conflict,
+              3 * (m88k.capacity + m88k.compulsory));
+
+    auto vortex = classify(fw::SpecInt::Vortex147);
+    EXPECT_GT(vortex.capacity, vortex.conflict);
+}

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Cross-module property tests: for every benchmark profile and a
+ * sweep of cache organizations, simulated systems must (i) return
+ * the trace's values on every load, (ii) leave their memory image
+ * equal to the generator's ground truth after flush, and (iii)
+ * uphold the DMC/FVC exclusivity invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/victim_cache.hh"
+#include "core/dmc_fvc_system.hh"
+#include "harness/runner.hh"
+#include "workload/generator.hh"
+
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace fc = fvc::cache;
+namespace co = fvc::core;
+namespace ft = fvc::trace;
+
+namespace {
+
+/** Replay with per-load value checking. */
+void
+checkedReplay(const fh::PreparedTrace &trace,
+              fc::CacheSystem &sys)
+{
+    trace.initial_image.forEachInteresting(
+        [&](ft::Addr addr, ft::Word value) {
+            sys.memoryImage().write(addr, value);
+        });
+    for (const auto &rec : trace.records) {
+        if (!rec.isAccess())
+            continue;
+        auto result = sys.access(rec);
+        if (rec.isLoad()) {
+            ASSERT_EQ(result.loaded, rec.value)
+                << sys.describe() << " load at " << std::hex
+                << rec.addr;
+        }
+    }
+    sys.flush();
+    bool image_ok = true;
+    trace.final_image.forEachInteresting(
+        [&](ft::Addr addr, ft::Word value) {
+            if (sys.memoryImage().read(addr) != value)
+                image_ok = false;
+        });
+    ASSERT_TRUE(image_ok) << sys.describe();
+}
+
+} // namespace
+
+class WorkloadPropertyTest
+    : public ::testing::TestWithParam<fw::SpecInt>
+{
+  protected:
+    static constexpr uint64_t kAccesses = 40000;
+};
+
+TEST_P(WorkloadPropertyTest, DmcPreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 41);
+    fc::CacheConfig cfg;
+    cfg.size_bytes = 8 * 1024;
+    cfg.line_bytes = 32;
+    fc::DmcSystem sys(cfg);
+    checkedReplay(trace, sys);
+}
+
+TEST_P(WorkloadPropertyTest, VictimSystemPreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 42);
+    fc::CacheConfig cfg;
+    cfg.size_bytes = 4 * 1024;
+    cfg.line_bytes = 32;
+    fc::DmcVictimSystem sys(cfg, 4);
+    checkedReplay(trace, sys);
+}
+
+TEST_P(WorkloadPropertyTest, DmcFvcPreservesData)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 43);
+    fc::CacheConfig dmc;
+    dmc.size_bytes = 8 * 1024;
+    dmc.line_bytes = 32;
+    co::FvcConfig fvc;
+    fvc.entries = 128;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    co::DmcFvcSystem sys(
+        dmc, fvc,
+        co::FrequentValueEncoding(trace.frequent_values, 3));
+    checkedReplay(trace, sys);
+}
+
+TEST_P(WorkloadPropertyTest, FvcNeverLosesReadOnlyHits)
+{
+    // On a load-only replay, adding an FVC can only remove misses:
+    // every FVC hit is an access the bare DMC missed, and the DMC's
+    // own behaviour is unchanged (no write allocation happens).
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, kAccesses, 44);
+
+    fc::CacheConfig cfg;
+    cfg.size_bytes = 4 * 1024;
+    cfg.line_bytes = 32;
+    fc::DmcSystem plain(cfg);
+    co::FvcConfig fvc;
+    fvc.entries = 256;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    co::DmcFvcSystem augmented(
+        cfg, fvc,
+        co::FrequentValueEncoding(trace.frequent_values, 3));
+
+    for (const auto &rec : trace.records) {
+        if (!rec.isLoad())
+            continue;
+        ft::MemRecord load = rec;
+        plain.access(load);
+        augmented.access(load);
+    }
+    EXPECT_LE(augmented.stats().misses(), plain.stats().misses());
+}
+
+TEST_P(WorkloadPropertyTest, ExclusivityHoldsThroughout)
+{
+    auto profile = fw::specIntProfile(GetParam());
+    auto trace = fh::prepareTrace(profile, 20000, 45);
+    fc::CacheConfig dmc;
+    dmc.size_bytes = 2 * 1024;
+    dmc.line_bytes = 32;
+    co::FvcConfig fvc;
+    fvc.entries = 64;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    co::DmcFvcSystem sys(
+        dmc, fvc,
+        co::FrequentValueEncoding(trace.frequent_values, 3));
+    for (const auto &rec : trace.records) {
+        if (!rec.isAccess())
+            continue;
+        sys.access(rec);
+        ASSERT_TRUE(sys.exclusive(rec.addr));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, WorkloadPropertyTest,
+    ::testing::ValuesIn(fw::allSpecInt()),
+    [](const ::testing::TestParamInfo<fw::SpecInt> &info) {
+        std::string name = fw::specIntName(info.param);
+        for (char &c : name) {
+            if (!isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        }
+        return name;
+    });
+
+/** Geometry sweep of the FVC data-preservation property. */
+class GeometryPropertyTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint32_t, uint32_t, unsigned>>
+{
+};
+
+TEST_P(GeometryPropertyTest, DmcFvcPreservesDataOnGcc)
+{
+    auto [line, entries, bits] = GetParam();
+    auto profile = fw::specIntProfile(fw::SpecInt::Gcc126);
+    auto trace = fh::prepareTrace(profile, 30000, 46);
+    fc::CacheConfig dmc;
+    dmc.size_bytes = 4 * 1024;
+    dmc.line_bytes = line;
+    co::FvcConfig fvc;
+    fvc.entries = entries;
+    fvc.line_bytes = line;
+    fvc.code_bits = bits;
+    co::DmcFvcSystem sys(
+        dmc, fvc,
+        co::FrequentValueEncoding(trace.frequent_values, bits));
+    checkedReplay(trace, sys);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, GeometryPropertyTest,
+    ::testing::Combine(::testing::Values(8u, 16u, 32u, 64u),
+                       ::testing::Values(64u, 512u),
+                       ::testing::Values(1u, 3u)));

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the storage size model used in equal-budget
+ * comparisons (Figure 15a).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/size_model.hh"
+
+namespace co = fvc::core;
+namespace fc = fvc::cache;
+
+TEST(SizeModelTest, CacheStorage)
+{
+    fc::CacheConfig cfg;
+    cfg.size_bytes = 16 * 1024;
+    cfg.line_bytes = 32;
+    auto s = co::cacheStorage(cfg);
+    EXPECT_EQ(s.data_bits, 16u * 1024 * 8);
+    // 512 lines x 18-bit tags.
+    EXPECT_EQ(s.tag_bits, 512u * 18);
+    EXPECT_EQ(s.state_bits, 512u * 2);
+    EXPECT_GT(s.totalKilobytes(), 16.0);
+}
+
+TEST(SizeModelTest, FvcStorage)
+{
+    co::FvcConfig cfg;
+    cfg.entries = 512;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    auto s = co::fvcStorage(cfg);
+    EXPECT_EQ(s.data_bits, 512u * 8 * 3);
+    EXPECT_EQ(s.tag_bits, 512u * 18);
+    EXPECT_EQ(co::fvcDataKilobytes(cfg), 1.5);
+}
+
+TEST(SizeModelTest, VictimStorage)
+{
+    auto s = co::victimStorage(16, 32);
+    EXPECT_EQ(s.data_bits, 16u * 256);
+    EXPECT_EQ(s.tag_bits, 16u * 27);
+}
+
+TEST(SizeModelTest, PaperEqualSizePairing)
+{
+    // Section 4: accounting for tags, a 128-entry FVC (7 values,
+    // 8-word lines) and a 16-entry VC take almost the same space.
+    co::FvcConfig fvc;
+    fvc.entries = 128;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    uint64_t fvc_bits = co::fvcStorage(fvc).totalBits();
+    uint64_t vc_bits = co::victimStorage(16, 32).totalBits();
+    double ratio = static_cast<double>(fvc_bits) /
+                   static_cast<double>(vc_bits);
+    EXPECT_GT(ratio, 0.8);
+    EXPECT_LT(ratio, 1.6);
+}
+
+TEST(SizeModelTest, CompressionFactor)
+{
+    co::FvcConfig cfg;
+    cfg.entries = 512;
+    cfg.line_bytes = 32;
+    cfg.code_bits = 3;
+    // Paper: 32B line / 3B codes x 40% occupancy = 4.27x.
+    EXPECT_NEAR(co::compressionFactor(cfg, 0.4), 4.27, 0.01);
+    // Full occupancy gives the raw 10.67x code compression.
+    EXPECT_NEAR(co::compressionFactor(cfg, 1.0), 10.67, 0.01);
+}
+
+TEST(SizeModelTest, FvcDataSizesMatchFigure13Labels)
+{
+    // The paper labels FVC sizes by their data arrays: 512 entries
+    // at 2/4/8/16-word lines with 1/3/7 values.
+    co::FvcConfig cfg;
+    cfg.entries = 512;
+
+    cfg.line_bytes = 8; // 2 words
+    cfg.code_bits = 3;
+    EXPECT_NEAR(co::fvcDataKilobytes(cfg), 0.375, 1e-9);
+
+    cfg.line_bytes = 32; // 8 words
+    cfg.code_bits = 3;
+    EXPECT_NEAR(co::fvcDataKilobytes(cfg), 1.5, 1e-9);
+
+    cfg.line_bytes = 64; // 16 words
+    cfg.code_bits = 3;
+    EXPECT_NEAR(co::fvcDataKilobytes(cfg), 3.0, 1e-9);
+
+    cfg.line_bytes = 32;
+    cfg.code_bits = 1;
+    EXPECT_NEAR(co::fvcDataKilobytes(cfg), 0.5, 1e-9);
+}

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the analytic access-time model: monotonicity
+ * properties and the paper's quoted anchor points.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/access_time.hh"
+
+namespace tg = fvc::timing;
+namespace fc = fvc::cache;
+namespace co = fvc::core;
+
+namespace {
+
+fc::CacheConfig
+dmc(uint32_t kb, uint32_t line = 32, uint32_t assoc = 1)
+{
+    fc::CacheConfig cfg;
+    cfg.size_bytes = kb * 1024;
+    cfg.line_bytes = line;
+    cfg.assoc = assoc;
+    return cfg;
+}
+
+co::FvcConfig
+fvcCfg(uint32_t entries, uint32_t line = 32, unsigned bits = 3)
+{
+    co::FvcConfig cfg;
+    cfg.entries = entries;
+    cfg.line_bytes = line;
+    cfg.code_bits = bits;
+    return cfg;
+}
+
+} // namespace
+
+TEST(AccessTimeTest, GrowsWithCacheSize)
+{
+    double prev = 0.0;
+    for (uint32_t kb : {4u, 8u, 16u, 32u, 64u}) {
+        double t = tg::cacheAccessTime(dmc(kb)).total();
+        EXPECT_GT(t, prev) << kb << "Kb";
+        prev = t;
+    }
+}
+
+TEST(AccessTimeTest, PlausibleAbsoluteRange)
+{
+    // 0.8 micron on-chip caches are in the handful-of-ns range.
+    for (uint32_t kb : {4u, 16u, 64u}) {
+        double t = tg::cacheAccessTime(dmc(kb)).total();
+        EXPECT_GT(t, 2.0);
+        EXPECT_LT(t, 15.0);
+    }
+}
+
+TEST(AccessTimeTest, FvcGrowsWithEntries)
+{
+    double prev = 0.0;
+    for (uint32_t entries : {64u, 256u, 1024u, 4096u}) {
+        double t = tg::fvcAccessTime(fvcCfg(entries)).total();
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(AccessTimeTest, FvcNotSlowerThanSameLineDmc16K)
+{
+    // Figure 9's point: many DMC configurations are at least as
+    // slow as a 512-entry FVC.
+    double fvc = tg::fvcAccessTime(fvcCfg(512)).total();
+    double dmc16 = tg::cacheAccessTime(dmc(16)).total();
+    double dmc32 = tg::cacheAccessTime(dmc(32)).total();
+    EXPECT_LE(fvc, dmc16);
+    EXPECT_LE(fvc, dmc32);
+}
+
+TEST(AccessTimeTest, PaperAnchorPoints)
+{
+    // Section 4: a 512-entry FVC takes ~6ns while a 4-entry fully
+    // associative victim cache takes ~9ns at 0.8um.
+    double fvc512 = tg::fvcAccessTime(fvcCfg(512)).total();
+    double vc4 = tg::victimAccessTime(4, 32).total();
+    EXPECT_NEAR(fvc512, 6.0, 1.5);
+    EXPECT_NEAR(vc4, 9.0, 1.5);
+    EXPECT_LT(fvc512, vc4);
+}
+
+TEST(AccessTimeTest, CamScalesWithEntries)
+{
+    double vc4 = tg::victimAccessTime(4, 32).total();
+    double vc16 = tg::victimAccessTime(16, 32).total();
+    double vc64 = tg::victimAccessTime(64, 32).total();
+    EXPECT_LT(vc4, vc16);
+    EXPECT_LT(vc16, vc64);
+}
+
+TEST(AccessTimeTest, AssociativityAddsMuxDelay)
+{
+    double direct = tg::cacheAccessTime(dmc(16, 32, 1)).total();
+    double two_way = tg::cacheAccessTime(dmc(16, 32, 2)).total();
+    double four_way = tg::cacheAccessTime(dmc(16, 32, 4)).total();
+    EXPECT_LT(direct, two_way);
+    EXPECT_LT(two_way, four_way);
+}
+
+TEST(AccessTimeTest, FvcCodeWidthBarelyMatters)
+{
+    // The FVC's tag array dominates; code width changes the data
+    // row only slightly (the paper notes small variations).
+    double b1 = tg::fvcAccessTime(fvcCfg(512, 32, 1)).total();
+    double b3 = tg::fvcAccessTime(fvcCfg(512, 32, 3)).total();
+    EXPECT_LT(std::abs(b3 - b1), 1.0);
+}
+
+TEST(AccessTimeTest, BreakdownSumsToTotal)
+{
+    auto t = tg::cacheAccessTime(dmc(16));
+    double sum = t.base_ns + t.decode_ns + t.wordline_ns +
+                 t.bitline_ns + t.sense_ns + t.compare_ns +
+                 t.mux_ns + t.cam_ns + t.fv_decode_ns;
+    EXPECT_DOUBLE_EQ(sum, t.total());
+}
+
+TEST(AccessTimeTest, FvDecodeOnlyOnFvc)
+{
+    auto cache_time = tg::cacheAccessTime(dmc(16));
+    auto fvc_time = tg::fvcAccessTime(fvcCfg(512));
+    EXPECT_EQ(cache_time.fv_decode_ns, 0.0);
+    EXPECT_GT(fvc_time.fv_decode_ns, 0.0);
+}

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Tests for the two-level hierarchy substrate.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/two_level.hh"
+#include "harness/runner.hh"
+#include "util/random.hh"
+
+namespace fc = fvc::cache;
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace ft = fvc::trace;
+
+namespace {
+
+fc::CacheConfig
+cfg(uint32_t bytes, uint32_t line = 32, uint32_t assoc = 1)
+{
+    fc::CacheConfig c;
+    c.size_bytes = bytes;
+    c.line_bytes = line;
+    c.assoc = assoc;
+    return c;
+}
+
+} // namespace
+
+TEST(TwoLevelTest, L2CatchesL1ConflictMisses)
+{
+    // Two lines aliasing in a 128B L1 both fit the 1KB L2.
+    fc::TwoLevelSystem sys(cfg(128), cfg(1024, 32, 4));
+    sys.access({ft::Op::Load, 0x000, 0, 1});
+    sys.access({ft::Op::Load, 0x080, 0, 2});
+    sys.access({ft::Op::Load, 0x000, 0, 3});
+    sys.access({ft::Op::Load, 0x080, 0, 4});
+    // All four L1 events: 2 compulsory misses + 2 conflict misses,
+    // but the conflict refills hit in L2 (no extra memory fetch).
+    EXPECT_EQ(sys.stats().read_misses, 4u);
+    EXPECT_EQ(sys.l2Stats().read_hits, 2u);
+    EXPECT_EQ(sys.stats().fills, 2u);
+    EXPECT_EQ(sys.stats().fetch_bytes, 64u);
+}
+
+TEST(TwoLevelTest, DirtyL1VictimLandsInL2)
+{
+    fc::TwoLevelSystem sys(cfg(128), cfg(1024, 32, 4));
+    sys.access({ft::Op::Store, 0x000, 42, 1});
+    sys.access({ft::Op::Load, 0x080, 0, 2}); // evicts dirty line
+    // Not yet in memory: the dirty data lives in L2.
+    EXPECT_EQ(sys.memoryImage().read(0x000), 0u);
+    auto result = sys.access({ft::Op::Load, 0x000, 42, 3});
+    EXPECT_EQ(result.loaded, 42u);
+    EXPECT_EQ(sys.stats().fills, 2u); // no third memory fetch
+}
+
+TEST(TwoLevelTest, FlushDrainsBothLevels)
+{
+    fc::TwoLevelSystem sys(cfg(128), cfg(1024, 32, 4));
+    sys.access({ft::Op::Store, 0x000, 42, 1});
+    sys.access({ft::Op::Store, 0x080, 43, 2});
+    sys.flush();
+    EXPECT_EQ(sys.memoryImage().read(0x000), 42u);
+    EXPECT_EQ(sys.memoryImage().read(0x080), 43u);
+}
+
+TEST(TwoLevelTest, RandomizedDataIntegrity)
+{
+    fc::TwoLevelSystem sys(cfg(256), cfg(2048, 32, 2));
+    std::map<ft::Addr, ft::Word> reference;
+    fvc::util::Rng rng(11);
+    for (int i = 0; i < 30000; ++i) {
+        ft::Addr addr = static_cast<ft::Addr>(rng.below(2048) * 4);
+        if (rng.chance(0.5)) {
+            ft::Word value = rng.next32();
+            reference[addr] = value;
+            sys.access({ft::Op::Store, addr, value, 0});
+        } else {
+            auto result = sys.access({ft::Op::Load, addr, 0, 0});
+            ft::Word expect =
+                reference.count(addr) ? reference[addr] : 0;
+            ASSERT_EQ(result.loaded, expect);
+        }
+    }
+    sys.flush();
+    for (const auto &[addr, value] : reference)
+        ASSERT_EQ(sys.memoryImage().read(addr), value);
+}
+
+TEST(TwoLevelTest, WorkloadIntegrityAndTrafficReduction)
+{
+    auto profile = fw::specIntProfile(fw::SpecInt::Vortex147);
+    auto trace = fh::prepareTrace(profile, 60000, 103);
+
+    fc::DmcSystem single(cfg(16 * 1024));
+    fh::replay(trace, single);
+
+    fc::TwoLevelSystem two(cfg(16 * 1024),
+                           cfg(128 * 1024, 32, 4));
+    fh::replay(trace, two);
+
+    // L1 miss behaviour is identical; off-chip traffic shrinks.
+    EXPECT_EQ(two.stats().misses(), single.stats().misses());
+    EXPECT_LT(two.stats().trafficBytes(),
+              single.stats().trafficBytes());
+
+    bool ok = true;
+    trace.final_image.forEachInteresting(
+        [&](ft::Addr addr, ft::Word value) {
+            if (two.memoryImage().read(addr) != value)
+                ok = false;
+        });
+    EXPECT_TRUE(ok);
+}

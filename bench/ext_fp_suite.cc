@@ -4,12 +4,18 @@
  * suite's frequent value locality (Figure 2) but runs its cache
  * experiments on the integer suite only; this bench closes that
  * gap with the modelled FP workloads.
+ *
+ * Parallel sweep: one job per FP benchmark; each job replays its
+ * shared trace through the bare DMC and the DMC+FVC.
  */
 
+#include <algorithm>
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -34,34 +40,52 @@ main()
     fvc.line_bytes = 32;
     fvc.code_bits = 3;
 
+    struct Cell
+    {
+        double base;
+        double with_fvc;
+        double traffic_saving;
+    };
+    harness::SweepRunner<Cell> sweep;
+    const auto names = workload::allSpecFpNames();
+    for (const auto &name : names) {
+        auto profile = workload::specFpProfile(name);
+        sweep.submit([profile, dmc, fvc, accesses] {
+            auto trace = harness::sharedTrace(profile, accesses, 89);
+
+            cache::DmcSystem base_sys(dmc);
+            harness::replayFast(*trace, base_sys);
+            auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+
+            Cell cell;
+            cell.base = base_sys.stats().missRatePercent();
+            cell.with_fvc = sys->stats().missRatePercent();
+            cell.traffic_saving = 100.0 *
+                (static_cast<double>(
+                     base_sys.stats().trafficBytes()) -
+                 static_cast<double>(sys->stats().trafficBytes())) /
+                static_cast<double>(std::max<uint64_t>(
+                    base_sys.stats().trafficBytes(), 1));
+            return cell;
+        });
+    }
+    auto cells = sweep.run();
+
     util::Table table({"benchmark", "DMC miss %", "+FVC miss %",
                        "reduction %", "traffic saving %"});
     for (size_t c = 1; c <= 4; ++c)
         table.alignRight(c);
 
-    for (const auto &name : workload::allSpecFpNames()) {
-        auto profile = workload::specFpProfile(name);
-        auto trace = harness::prepareTrace(profile, accesses, 89);
-
-        cache::DmcSystem base_sys(dmc);
-        harness::replay(trace, base_sys);
-        double base = base_sys.stats().missRatePercent();
-
-        auto sys = harness::runDmcFvc(trace, dmc, fvc);
-        double with = sys->stats().missRatePercent();
-
-        double traffic_saving = 100.0 *
-            (static_cast<double>(base_sys.stats().trafficBytes()) -
-             static_cast<double>(sys->stats().trafficBytes())) /
-            static_cast<double>(
-                std::max<uint64_t>(base_sys.stats().trafficBytes(),
-                                   1));
-        table.addRow({name, util::fixedStr(base, 3),
-                      util::fixedStr(with, 3),
-                      util::fixedStr(100.0 * (base - with) /
-                                         (base > 0.0 ? base : 1.0),
-                                     1),
-                      util::fixedStr(traffic_saving, 1)});
+    size_t job = 0;
+    for (const auto &name : names) {
+        const Cell &cell = cells[job++];
+        table.addRow(
+            {name, util::fixedStr(cell.base, 3),
+             util::fixedStr(cell.with_fvc, 3),
+             util::fixedStr(100.0 * (cell.base - cell.with_fvc) /
+                                (cell.base > 0.0 ? cell.base : 1.0),
+                            1),
+             util::fixedStr(cell.traffic_saving, 1)});
     }
     std::printf("%s", table.render().c_str());
     table.exportCsv("ext_fp_suite");

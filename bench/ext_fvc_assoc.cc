@@ -4,12 +4,18 @@
  * mapped (that is what makes it faster than a fully-associative
  * victim cache). How much is left on the table? Sweep the FVC's
  * own associativity at fixed entry count.
+ *
+ * Parallel sweep: one job per (benchmark, FVC associativity) plus a
+ * bare-DMC job per benchmark, all over the shared per-benchmark
+ * trace.
  */
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -26,34 +32,54 @@ main()
                   "the model's FVC access time per configuration");
 
     const uint64_t accesses = harness::defaultTraceAccesses();
+    const std::vector<uint32_t> assocs = {1u, 2u, 4u};
 
     cache::CacheConfig dmc;
     dmc.size_bytes = 16 * 1024;
     dmc.line_bytes = 32;
+
+    // Job 0 per benchmark: bare DMC; jobs 1..3: the FVC assocs.
+    harness::SweepRunner<double> sweep;
+    const auto benches = workload::fvSpecInt();
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        sweep.submit([profile, dmc, accesses] {
+            auto trace = harness::sharedTrace(profile, accesses, 88);
+            return harness::dmcMissRate(*trace, dmc);
+        });
+        for (uint32_t assoc : assocs) {
+            sweep.submit([profile, dmc, assoc, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 88);
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = 32;
+                fvc.code_bits = 3;
+                fvc.assoc = assoc;
+                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                return sys->stats().missRatePercent();
+            });
+        }
+    }
+    auto rates = sweep.run();
 
     util::Table table({"benchmark", "DMC miss %", "1-way red %",
                        "2-way red %", "4-way red %"});
     for (size_t c = 1; c <= 4; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
+    size_t job = 0;
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 88);
-        double base = harness::dmcMissRate(trace, dmc);
-
-        std::vector<std::string> row = {trace.name,
+        double base = rates[job++];
+        std::vector<std::string> row = {profile.name,
                                         util::fixedStr(base, 3)};
-        for (uint32_t assoc : {1u, 2u, 4u}) {
-            core::FvcConfig fvc;
-            fvc.entries = 512;
-            fvc.line_bytes = 32;
-            fvc.code_bits = 3;
-            fvc.assoc = assoc;
-            auto sys = harness::runDmcFvc(trace, dmc, fvc);
-            row.push_back(util::fixedStr(
-                100.0 * (base - sys->stats().missRatePercent()) /
-                    (base > 0.0 ? base : 1.0),
-                1));
+        for (size_t i = 0; i < assocs.size(); ++i) {
+            double with = rates[job++];
+            row.push_back(
+                util::fixedStr(100.0 * (base - with) /
+                                   (base > 0.0 ? base : 1.0),
+                               1));
         }
         table.addRow(row);
     }
@@ -63,7 +89,7 @@ main()
     harness::section("access-time cost of FVC associativity");
     util::Table timing({"FVC assoc", "access ns"});
     timing.alignRight(1);
-    for (uint32_t assoc : {1u, 2u, 4u}) {
+    for (uint32_t assoc : assocs) {
         core::FvcConfig fvc;
         fvc.entries = 512;
         fvc.line_bytes = 32;

@@ -4,12 +4,18 @@
  * from 64 to 4096 entries. DMC fixed at 16 Kb with 8-word (32-byte)
  * lines; the FVC exploits the top 7 frequently accessed values
  * (3-bit codes).
+ *
+ * Parallel sweep: one job per (benchmark, FVC size) plus one bare-
+ * DMC job per benchmark, all sharing each benchmark's trace via the
+ * TraceRepository.
  */
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -40,22 +46,41 @@ main()
     for (size_t c = 1; c < headers.size(); ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
+    // Job 0 of each benchmark is the bare DMC; jobs 1..N follow the
+    // entry counts. Every job shares the benchmark's trace.
+    harness::SweepRunner<double> sweep;
+    const auto benches = workload::fvSpecInt();
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 17);
-        double base = harness::dmcMissRate(trace, dmc);
-
-        std::vector<std::string> row = {trace.name,
-                                        util::fixedStr(base, 3)};
+        sweep.submit([profile, dmc, accesses] {
+            auto trace = harness::sharedTrace(profile, accesses, 17);
+            return harness::dmcMissRate(*trace, dmc);
+        });
         for (uint32_t entries : entry_counts) {
-            core::FvcConfig fvc;
-            fvc.entries = entries;
-            fvc.line_bytes = dmc.line_bytes;
-            fvc.code_bits = 3;
-            auto sys = harness::runDmcFvc(trace, dmc, fvc);
-            double reduction =
-                100.0 * (base - sys->stats().missRatePercent()) /
-                (base > 0.0 ? base : 1.0);
+            sweep.submit([profile, dmc, entries, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 17);
+                core::FvcConfig fvc;
+                fvc.entries = entries;
+                fvc.line_bytes = dmc.line_bytes;
+                fvc.code_bits = 3;
+                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                return sys->stats().missRatePercent();
+            });
+        }
+    }
+    auto rates = sweep.run();
+
+    size_t job = 0;
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        double base = rates[job++];
+        std::vector<std::string> row = {profile.name,
+                                        util::fixedStr(base, 3)};
+        for (size_t i = 0; i < entry_counts.size(); ++i) {
+            double with = rates[job++];
+            double reduction = 100.0 * (base - with) /
+                               (base > 0.0 ? base : 1.0);
             row.push_back(util::fixedStr(reduction, 1));
         }
         table.addRow(row);

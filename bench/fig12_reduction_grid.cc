@@ -4,12 +4,20 @@
  * exploiting the top 1, 3, or 7 frequently accessed values, across
  * the 12 DMC configurations whose access time is not faster than
  * the FVC's.
+ *
+ * Sweep-shaped: (benchmark x DMC config) jobs fan across the
+ * FVC_JOBS worker pool; each job pulls its benchmark's trace from
+ * the shared TraceRepository, so the trace is generated once and
+ * replayed concurrently. Results print in submission order, so the
+ * tables are identical for any FVC_JOBS.
  */
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -41,36 +49,61 @@ main()
         }
     }
 
-    for (auto bench : workload::fvSpecInt()) {
+    // One job per (benchmark, DMC config): the bare-DMC miss rate
+    // and the miss rate with each of the three FVC widths.
+    struct Cell
+    {
+        double base;
+        double with_fvc[3];
+    };
+    harness::SweepRunner<Cell> sweep;
+    const auto benches = workload::fvSpecInt();
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 72);
+        for (const auto &config : configs) {
+            sweep.submit([profile, config, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 72);
+                cache::CacheConfig dmc;
+                dmc.size_bytes = config.kb * 1024;
+                dmc.line_bytes = config.line;
 
-        harness::section(trace.name);
+                Cell cell;
+                cell.base = harness::dmcMissRate(*trace, dmc);
+                for (unsigned bits : {1u, 2u, 3u}) {
+                    core::FvcConfig fvc;
+                    fvc.entries = 512;
+                    fvc.line_bytes = config.line;
+                    fvc.code_bits = bits;
+                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                    cell.with_fvc[bits - 1] =
+                        sys->stats().missRatePercent();
+                }
+                return cell;
+            });
+        }
+    }
+    auto cells = sweep.run();
+
+    size_t job = 0;
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        harness::section(profile.name);
         util::Table table({"DMC", "miss %", "1 value %",
                            "3 values %", "7 values %"});
         for (size_t c = 1; c <= 4; ++c)
             table.alignRight(c);
 
         for (const auto &config : configs) {
-            cache::CacheConfig dmc;
-            dmc.size_bytes = config.kb * 1024;
-            dmc.line_bytes = config.line;
-            double base = harness::dmcMissRate(trace, dmc);
-
+            const Cell &cell = cells[job++];
             std::vector<std::string> row = {
-                util::sizeStr(dmc.size_bytes) + "/" +
+                util::sizeStr(config.kb * 1024) + "/" +
                     std::to_string(config.line) + "B",
-                util::fixedStr(base, 3)};
+                util::fixedStr(cell.base, 3)};
             for (unsigned bits : {1u, 2u, 3u}) {
-                core::FvcConfig fvc;
-                fvc.entries = 512;
-                fvc.line_bytes = config.line;
-                fvc.code_bits = bits;
-                auto sys = harness::runDmcFvc(trace, dmc, fvc);
                 row.push_back(util::fixedStr(
-                    100.0 *
-                        (base - sys->stats().missRatePercent()) /
-                        (base > 0.0 ? base : 1.0),
+                    100.0 * (cell.base - cell.with_fvc[bits - 1]) /
+                        (cell.base > 0.0 ? cell.base : 1.0),
                     1));
             }
             table.addRow(row);

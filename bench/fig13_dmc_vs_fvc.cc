@@ -5,15 +5,21 @@
  * FVC beats a DMC of twice the size, across line sizes of 2/4/8/16
  * words and 1/3/7 exploited values. This bench regenerates every
  * row of that figure and prints the paper's value beside ours.
+ *
+ * Parallel sweep: the doubled-DMC baseline of each (benchmark,
+ * geometry) row is simulated once and reused across the three
+ * value-count sections; the FVC runs fan out per section. Traces
+ * come from the shared TraceRepository.
  */
 
 #include <cstdio>
-#include <map>
 
 #include "core/size_model.hh"
 #include "harness/paper_data.hh"
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -48,15 +54,55 @@ main()
     const uint64_t accesses = harness::defaultTraceAccesses();
     const std::vector<workload::SpecInt> benches = {
         workload::SpecInt::M88ksim124, workload::SpecInt::Perl134};
+    const std::vector<unsigned> code_bit_sections = {3u, 2u, 1u};
 
-    std::map<std::string, harness::PreparedTrace> traces;
+    // Doubled-DMC baselines: one job per (benchmark, geometry),
+    // shared by all three value-count sections.
+    harness::SweepRunner<double> doubled_sweep;
     for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        traces.emplace(profile.name,
-                       harness::prepareTrace(profile, accesses, 23));
+        for (const auto &row : kRows) {
+            doubled_sweep.submit([profile, row, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 23);
+                cache::CacheConfig big;
+                big.size_bytes = row.bigger_kb * 1024;
+                big.line_bytes = row.line_words * 4;
+                return harness::dmcMissRate(*trace, big);
+            });
+        }
     }
 
-    for (unsigned code_bits : {3u, 2u, 1u}) {
+    // DMC+FVC runs: one job per (section, benchmark, geometry).
+    harness::SweepRunner<double> fvc_sweep;
+    for (unsigned code_bits : code_bit_sections) {
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            for (const auto &row : kRows) {
+                fvc_sweep.submit(
+                    [profile, row, code_bits, accesses] {
+                        auto trace = harness::sharedTrace(
+                            profile, accesses, 23);
+                        cache::CacheConfig small;
+                        small.size_bytes = row.dmc_kb * 1024;
+                        small.line_bytes = row.line_words * 4;
+                        core::FvcConfig fvc;
+                        fvc.entries = 512;
+                        fvc.line_bytes = small.line_bytes;
+                        fvc.code_bits = code_bits;
+                        auto sys =
+                            harness::runDmcFvc(*trace, small, fvc);
+                        return sys->stats().missRatePercent();
+                    });
+            }
+        }
+    }
+
+    auto doubled_rates = doubled_sweep.run();
+    auto fvc_rates = fvc_sweep.run();
+
+    size_t fvc_job = 0;
+    for (unsigned code_bits : code_bit_sections) {
         unsigned values = (1u << code_bits) - 1;
         harness::section(std::to_string(values) +
                          " frequently accessed value(s), 512-entry "
@@ -67,23 +113,18 @@ main()
         for (size_t c = 3; c <= 8; ++c)
             table.alignRight(c);
 
-        for (const auto &[name, trace] : traces) {
+        size_t doubled_job = 0;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            const std::string &name = profile.name;
             for (const auto &row : kRows) {
-                cache::CacheConfig small;
-                small.size_bytes = row.dmc_kb * 1024;
-                small.line_bytes = row.line_words * 4;
-                cache::CacheConfig big;
-                big.size_bytes = row.bigger_kb * 1024;
-                big.line_bytes = small.line_bytes;
+                double with_fvc = fvc_rates[fvc_job++];
+                double doubled = doubled_rates[doubled_job++];
 
                 core::FvcConfig fvc;
                 fvc.entries = 512;
-                fvc.line_bytes = small.line_bytes;
+                fvc.line_bytes = row.line_words * 4;
                 fvc.code_bits = code_bits;
-
-                auto sys = harness::runDmcFvc(trace, small, fvc);
-                double with_fvc = sys->stats().missRatePercent();
-                double doubled = harness::dmcMissRate(trace, big);
 
                 // Figure 13 only reports paper numbers for the
                 // 7-value configuration rows we carry.

@@ -7,12 +7,18 @@
  * (m88ksim, perl, li) associativity removes the misses the FVC was
  * removing, so the FVC's benefit collapses; for the
  * capacity-dominated ones (go, gcc, vortex) the benefit survives.
+ *
+ * Parallel sweep: one job per (benchmark, associativity) pair; each
+ * job runs the bare DMC and the DMC+FVC against the benchmark's
+ * shared trace.
  */
 
 #include <cstdio>
 
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -30,38 +36,58 @@ main()
                   "misses)");
 
     const uint64_t accesses = harness::defaultTraceAccesses();
+    const std::vector<uint32_t> assocs = {1u, 2u, 4u};
+
+    struct Cell
+    {
+        double base;
+        double with_fvc;
+    };
+    harness::SweepRunner<Cell> sweep;
+    const auto benches = workload::fvSpecInt();
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        for (uint32_t assoc : assocs) {
+            sweep.submit([profile, assoc, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 29);
+                cache::CacheConfig dmc;
+                dmc.size_bytes = 16 * 1024;
+                dmc.line_bytes = 32;
+                dmc.assoc = assoc;
+
+                Cell cell;
+                cell.base = harness::dmcMissRate(*trace, dmc);
+
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = dmc.line_bytes;
+                fvc.code_bits = 3;
+                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                cell.with_fvc = sys->stats().missRatePercent();
+                return cell;
+            });
+        }
+    }
+    auto cells = sweep.run();
 
     util::Table table({"benchmark", "assoc", "miss % (no FVC)",
                        "miss % (FVC)", "reduction %"});
     for (size_t c = 1; c <= 4; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
+    size_t job = 0;
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 29);
-
-        for (uint32_t assoc : {1u, 2u, 4u}) {
-            cache::CacheConfig dmc;
-            dmc.size_bytes = 16 * 1024;
-            dmc.line_bytes = 32;
-            dmc.assoc = assoc;
-
-            double base = harness::dmcMissRate(trace, dmc);
-
-            core::FvcConfig fvc;
-            fvc.entries = 512;
-            fvc.line_bytes = dmc.line_bytes;
-            fvc.code_bits = 3;
-            auto sys = harness::runDmcFvc(trace, dmc, fvc);
-            double with = sys->stats().missRatePercent();
-
-            table.addRow({trace.name,
+        for (uint32_t assoc : assocs) {
+            const Cell &cell = cells[job++];
+            table.addRow({profile.name,
                           std::to_string(assoc) + "-way",
-                          util::fixedStr(base, 3),
-                          util::fixedStr(with, 3),
+                          util::fixedStr(cell.base, 3),
+                          util::fixedStr(cell.with_fvc, 3),
                           util::fixedStr(
-                              100.0 * (base - with) /
-                                  (base > 0.0 ? base : 1.0),
+                              100.0 * (cell.base - cell.with_fvc) /
+                                  (cell.base > 0.0 ? cell.base : 1.0),
                               1)});
         }
         table.addSeparator();

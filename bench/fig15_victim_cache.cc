@@ -4,14 +4,19 @@
  * Two pairings: (a) equal storage — a 16-entry fully-associative
  * VC vs a 128-entry FVC; (b) equal access time — a 4-entry VC
  * (~9ns) vs a 512-entry FVC (~6ns).
+ *
+ * Parallel sweep: one job per (pairing, benchmark); both pairings
+ * replay the same shared per-benchmark trace.
  */
 
 #include <cstdio>
 
 #include "cache/victim_cache.hh"
 #include "core/size_model.hh"
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -20,15 +25,49 @@ namespace {
 
 using namespace fvc;
 
-void
-runComparison(const char *title, uint32_t vc_entries,
-              uint32_t fvc_entries, uint64_t accesses)
+struct Cell
 {
-    harness::section(title);
+    double base;
+    double vc_miss;
+    double fvc_miss;
+};
 
+void
+submitComparison(harness::SweepRunner<Cell> &sweep,
+                 uint32_t vc_entries, uint32_t fvc_entries,
+                 uint64_t accesses)
+{
     cache::CacheConfig dmc;
     dmc.size_bytes = 4 * 1024;
     dmc.line_bytes = 32;
+
+    core::FvcConfig fvc;
+    fvc.entries = fvc_entries;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+
+    for (auto bench : workload::fvSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        sweep.submit([profile, dmc, fvc, vc_entries, accesses] {
+            auto trace = harness::sharedTrace(profile, accesses, 73);
+            Cell cell;
+            cell.base = harness::dmcMissRate(*trace, dmc);
+            cache::DmcVictimSystem vc_sys(dmc, vc_entries);
+            harness::replayFast(*trace, vc_sys);
+            cell.vc_miss = vc_sys.stats().missRatePercent();
+            auto fvc_sys = harness::runDmcFvc(*trace, dmc, fvc);
+            cell.fvc_miss = fvc_sys->stats().missRatePercent();
+            return cell;
+        });
+    }
+}
+
+void
+printComparison(const char *title, uint32_t vc_entries,
+                uint32_t fvc_entries, const std::vector<Cell> &cells,
+                size_t &job)
+{
+    harness::section(title);
 
     core::FvcConfig fvc;
     fvc.entries = fvc_entries;
@@ -52,24 +91,18 @@ runComparison(const char *title, uint32_t vc_entries,
 
     for (auto bench : workload::fvSpecInt()) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 73);
-
-        double base = harness::dmcMissRate(trace, dmc);
-        cache::DmcVictimSystem vc_sys(dmc, vc_entries);
-        harness::replay(trace, vc_sys);
-        double vc_miss = vc_sys.stats().missRatePercent();
-        auto fvc_sys = harness::runDmcFvc(trace, dmc, fvc);
-        double fvc_miss = fvc_sys->stats().missRatePercent();
-
-        auto reduction = [base](double with) {
-            return util::fixedStr(
-                100.0 * (base - with) / (base > 0.0 ? base : 1.0),
-                1);
+        const Cell &cell = cells[job++];
+        auto reduction = [&cell](double with) {
+            return util::fixedStr(100.0 * (cell.base - with) /
+                                      (cell.base > 0.0 ? cell.base
+                                                       : 1.0),
+                                  1);
         };
-        table.addRow({trace.name, util::fixedStr(base, 3),
-                      util::fixedStr(vc_miss, 3),
-                      util::fixedStr(fvc_miss, 3),
-                      reduction(vc_miss), reduction(fvc_miss)});
+        table.addRow({profile.name, util::fixedStr(cell.base, 3),
+                      util::fixedStr(cell.vc_miss, 3),
+                      util::fixedStr(cell.fvc_miss, 3),
+                      reduction(cell.vc_miss),
+                      reduction(cell.fvc_miss)});
     }
     std::printf("%s", table.render().c_str());
 }
@@ -86,12 +119,19 @@ main()
                   "access time the FVC wins — both are effective");
 
     const uint64_t accesses = harness::defaultTraceAccesses();
-    runComparison(
+
+    harness::SweepRunner<Cell> sweep;
+    submitComparison(sweep, 16, 128, accesses);
+    submitComparison(sweep, 4, 512, accesses);
+    auto cells = sweep.run();
+
+    size_t job = 0;
+    printComparison(
         "equal storage: 16-entry VC vs 128-entry FVC", 16, 128,
-        accesses);
-    runComparison(
+        cells, job);
+    printComparison(
         "equal access time: 4-entry VC (~9ns) vs 512-entry FVC "
         "(~6ns)",
-        4, 512, accesses);
+        4, 512, cells, job);
     return 0;
 }

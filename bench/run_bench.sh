@@ -1,0 +1,25 @@
+#!/bin/sh
+# Run the google-benchmark microbenchmarks and write the results as
+# JSON to BENCH_microbench.json at the repository root. The file is
+# committed so the repo carries a perf trajectory: rerun after perf
+# work and compare against the checked-in numbers.
+#
+# Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
+# Env:   FVC_BENCH_MIN_TIME  per-benchmark min time (default 0.3)
+set -eu
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+[ $# -gt 0 ] && shift
+
+bin="$build_dir/bench/microbench"
+if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $build_dir)" >&2
+    exit 1
+fi
+
+exec "$bin" \
+    --benchmark_out="$repo_root/BENCH_microbench.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time="${FVC_BENCH_MIN_TIME:-0.3}" \
+    "$@"

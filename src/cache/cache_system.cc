@@ -10,10 +10,9 @@ AccessResult
 DmcSystem::access(const trace::MemRecord &rec)
 {
     AccessResult result;
-    bool hit = cache_.access(rec.op, rec.addr, rec.value, memory_);
+    bool hit = cache_.access(rec.op, rec.addr, rec.value, memory_,
+                             &result.loaded);
     result.where = hit ? HitWhere::MainCache : HitWhere::Miss;
-    if (rec.isLoad())
-        result.loaded = cache_.readWord(rec.addr);
     return result;
 }
 

@@ -69,7 +69,7 @@ class CacheSystem
 };
 
 /** A bare DMC (or set-associative cache) with no helper structure. */
-class DmcSystem : public CacheSystem
+class DmcSystem final : public CacheSystem
 {
   public:
     explicit DmcSystem(const CacheConfig &config);

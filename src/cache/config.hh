@@ -56,7 +56,13 @@ struct CacheConfig
     }
 
     unsigned offsetBits() const { return util::floorLog2(line_bytes); }
-    unsigned indexBits() const { return util::floorLog2(sets()); }
+    /** log2(sets()); all factors are validated powers of two, so
+     * this avoids the divisions sets() would perform. */
+    unsigned indexBits() const
+    {
+        return util::floorLog2(size_bytes) - offsetBits() -
+               util::floorLog2(assoc);
+    }
 
     /** Validate invariants; calls fvc_fatal on bad geometry. */
     void validate() const;
@@ -87,7 +93,9 @@ struct CacheConfig
     /** Word offset of @p addr within its line. */
     uint32_t wordOffset(Addr addr) const
     {
-        return (addr % line_bytes) / trace::kWordBytes;
+        // line_bytes is a power of two: mask + constant shift, no
+        // runtime division.
+        return (addr & (line_bytes - 1)) / trace::kWordBytes;
     }
 };
 

@@ -11,6 +11,9 @@ SetAssocCache::SetAssocCache(const CacheConfig &config, uint64_t seed)
     lines_.resize(config_.lines());
     for (auto &line : lines_)
         line.data.assign(config_.wordsPerLine(), 0);
+    offset_bits_ = config_.offsetBits();
+    tag_shift_ = offset_bits_ + config_.indexBits();
+    set_mask_ = config_.sets() - 1;
 }
 
 CacheLine &
@@ -31,12 +34,13 @@ SetAssocCache::reconstructBase(const CacheLine &line,
 CacheLine *
 SetAssocCache::probe(Addr addr)
 {
-    uint32_t set = config_.setIndex(addr);
-    uint64_t tag = config_.tag(addr);
-    for (uint32_t way = 0; way < config_.assoc; ++way) {
-        CacheLine &line = lineAt(set, way);
-        if (line.valid && line.tag == tag)
-            return &line;
+    uint32_t set = (addr >> offset_bits_) & set_mask_;
+    uint64_t tag = addr >> tag_shift_;
+    CacheLine *line = &lines_[static_cast<size_t>(set) *
+                              config_.assoc];
+    for (uint32_t way = 0; way < config_.assoc; ++way, ++line) {
+        if (line->valid && line->tag == tag)
+            return line;
     }
     return nullptr;
 }
@@ -93,8 +97,9 @@ SetAssocCache::fill(Addr addr, std::vector<Word> data, bool dirty)
 
     std::optional<EvictedLine> victim;
     if (line.valid) {
+        // The slot's data is about to be replaced: move, not copy.
         victim = EvictedLine{reconstructBase(line, set), line.dirty,
-                             line.data};
+                             std::move(line.data)};
     }
     line.tag = config_.tag(addr);
     line.valid = true;
@@ -164,7 +169,8 @@ SetAssocCache::validLines() const
 
 bool
 SetAssocCache::access(trace::Op op, Addr addr, Word value,
-                      memmodel::FunctionalMemory &memory)
+                      memmodel::FunctionalMemory &memory,
+                      Word *loaded)
 {
     fvc_assert(op == trace::Op::Load || op == trace::Op::Store,
                "access requires a load or store");
@@ -175,6 +181,8 @@ SetAssocCache::access(trace::Op op, Addr addr, Word value,
     if (line) {
         if (op == trace::Op::Load) {
             ++stats_.read_hits;
+            if (loaded)
+                *loaded = line->data[config_.wordOffset(addr)];
         } else {
             ++stats_.write_hits;
             line->data[config_.wordOffset(addr)] = value;
@@ -196,6 +204,11 @@ SetAssocCache::access(trace::Op op, Addr addr, Word value,
         memory.write(addr, value);
         stats_.writeback_bytes += trace::kWordBytes;
         return false;
+    }
+    if (op == trace::Op::Load && loaded) {
+        // The fill below installs memory's (current) copy of the
+        // line, so the load observes the memory value.
+        *loaded = memory.read(addr);
     }
 
     // Miss: fetch the whole line from memory (write-allocate).

@@ -96,10 +96,13 @@ class SetAssocCache
      * the array, miss => write back victim and fetch the line.
      * Updates stats().
      *
+     * @param loaded if non-null, receives the value a load observed
+     *               (saves the caller a second probe)
      * @retval true hit, false miss
      */
     bool access(trace::Op op, Addr addr, Word value,
-                memmodel::FunctionalMemory &memory);
+                memmodel::FunctionalMemory &memory,
+                Word *loaded = nullptr);
 
     CacheStats &stats() { return stats_; }
     const CacheStats &stats() const { return stats_; }
@@ -110,6 +113,10 @@ class SetAssocCache
     uint64_t clock_ = 0;
     util::Rng rng_;
     CacheStats stats_;
+    /** Geometry precomputed from config_ (probe is the hot path). */
+    unsigned offset_bits_ = 0;
+    unsigned tag_shift_ = 0;
+    uint32_t set_mask_ = 0;
 
     CacheLine &lineAt(uint32_t set, uint32_t way);
     uint32_t victimWay(uint32_t set);

@@ -61,7 +61,7 @@ class VictimCache
 };
 
 /** A DMC backed by a victim cache (Figure 15's "VC" system). */
-class DmcVictimSystem : public CacheSystem
+class DmcVictimSystem final : public CacheSystem
 {
   public:
     DmcVictimSystem(const CacheConfig &dmc_config,

@@ -9,7 +9,8 @@ DmcFvcSystem::DmcFvcSystem(const cache::CacheConfig &dmc_config,
                            FrequentValueEncoding encoding,
                            DmcFvcPolicy policy)
     : dmc_(dmc_config), fvc_(fvc_config, std::move(encoding)),
-      policy_(policy)
+      policy_(policy),
+      sample_countdown_(policy.occupancy_sample_interval)
 {
     fvc_assert(dmc_config.line_bytes == fvc_config.line_bytes,
                "FVC line size must match the main cache (the "
@@ -102,9 +103,9 @@ DmcFvcSystem::access(const trace::MemRecord &rec)
     cache::AccessResult result;
     const Addr addr = rec.addr;
     ++access_count_;
-    if (policy_.occupancy_sample_interval &&
-        access_count_ % policy_.occupancy_sample_interval == 0) {
+    if (sample_countdown_ && --sample_countdown_ == 0) {
         sampleOccupancy();
+        sample_countdown_ = policy_.occupancy_sample_interval;
     }
 
 #ifndef NDEBUG
@@ -127,17 +128,18 @@ DmcFvcSystem::access(const trace::MemRecord &rec)
         return result;
     }
 
-    const bool fvc_tag_hit = fvc_.tagMatch(addr);
-    if (fvc_tag_hit) {
-        if (rec.isLoad()) {
-            if (auto value = fvc_.readWord(addr)) {
-                // FVC read hit: the word's code decodes to a value.
-                ++stats_.read_hits;
-                ++fvc_stats_.fvc_read_hits;
-                result.where = cache::HitWhere::AuxCache;
-                result.loaded = *value;
-                return result;
-            }
+    // One fused probe instead of tagMatch() + read/writeWord().
+    if (rec.isLoad()) {
+        Word value = 0;
+        switch (fvc_.probeRead(addr, value)) {
+          case core::FrequentValueCache::ProbeOutcome::Hit:
+            // FVC read hit: the word's code decodes to a value.
+            ++stats_.read_hits;
+            ++fvc_stats_.fvc_read_hits;
+            result.where = cache::HitWhere::AuxCache;
+            result.loaded = value;
+            return result;
+          case core::FrequentValueCache::ProbeOutcome::NonFrequent:
             // Tag match, non-frequent word: a miss. Fetch the line,
             // merge the FVC's newer values, move it to the DMC.
             ++stats_.read_misses;
@@ -145,21 +147,27 @@ DmcFvcSystem::access(const trace::MemRecord &rec)
             fetchInstall(addr);
             result.loaded = dmc_.readWord(addr);
             return result;
+          case core::FrequentValueCache::ProbeOutcome::NoTag:
+            break;
         }
-        // Store with matching tag.
-        if (fvc_.writeWord(addr, rec.value)) {
+    } else {
+        switch (fvc_.probeWrite(addr, rec.value)) {
+          case core::FrequentValueCache::ProbeOutcome::Hit:
             ++stats_.write_hits;
             ++fvc_stats_.fvc_write_hits;
             result.where = cache::HitWhere::AuxCache;
             return result;
+          case core::FrequentValueCache::ProbeOutcome::NonFrequent:
+            // Tag match but the value is non-frequent: miss; merge
+            // the line into the DMC and perform the write there.
+            ++stats_.write_misses;
+            ++fvc_stats_.partial_misses;
+            fetchInstall(addr);
+            dmc_.writeWord(addr, rec.value);
+            return result;
+          case core::FrequentValueCache::ProbeOutcome::NoTag:
+            break;
         }
-        // Tag match but the value is non-frequent: miss; merge the
-        // line into the DMC and perform the write there.
-        ++stats_.write_misses;
-        ++fvc_stats_.partial_misses;
-        fetchInstall(addr);
-        dmc_.writeWord(addr, rec.value);
-        return result;
     }
 
     // Miss in both structures.

@@ -71,7 +71,7 @@ struct DmcFvcPolicy
 };
 
 /** The combined DMC + FVC organization. */
-class DmcFvcSystem : public cache::CacheSystem
+class DmcFvcSystem final : public cache::CacheSystem
 {
   public:
     DmcFvcSystem(const cache::CacheConfig &dmc_config,
@@ -111,6 +111,9 @@ class DmcFvcSystem : public cache::CacheSystem
     FvcStats fvc_stats_;
     DmcFvcPolicy policy_;
     uint64_t access_count_ = 0;
+    /** Accesses until the next occupancy sample (0 = disabled);
+     * avoids a per-access modulo. */
+    uint64_t sample_countdown_ = 0;
 
     /** Write a dirty FVC entry's frequent words back to memory. */
     void writebackFvcEntry(const FvcEvicted &entry);

@@ -1,5 +1,7 @@
 #include "core/encoding.hh"
 
+#include <algorithm>
+
 #include "util/bitops.hh"
 #include "util/logging.hh"
 
@@ -16,20 +18,24 @@ FrequentValueEncoding::FrequentValueEncoding(
     for (Word v : values) {
         if (values_.size() >= cap)
             break;
-        if (codes_.count(v))
+        if (std::find(values_.begin(), values_.end(), v) !=
+            values_.end()) {
             continue; // ignore duplicates
-        codes_[v] = static_cast<Code>(values_.size());
+        }
         values_.push_back(v);
     }
     fvc_assert(!values_.empty(),
                "encoding requires at least one frequent value");
-}
 
-Code
-FrequentValueEncoding::encode(Word value) const
-{
-    auto it = codes_.find(value);
-    return it == codes_.end() ? non_frequent_ : it->second;
+    sorted_values_ = values_;
+    std::sort(sorted_values_.begin(), sorted_values_.end());
+    sorted_codes_.resize(sorted_values_.size());
+    for (size_t i = 0; i < sorted_values_.size(); ++i) {
+        auto it = std::find(values_.begin(), values_.end(),
+                            sorted_values_[i]);
+        sorted_codes_[i] =
+            static_cast<Code>(it - values_.begin());
+    }
 }
 
 std::optional<Word>

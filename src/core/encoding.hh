@@ -8,9 +8,9 @@
 #ifndef FVC_CORE_ENCODING_HH_
 #define FVC_CORE_ENCODING_HH_
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "trace/record.hh"
@@ -56,11 +56,11 @@ class FrequentValueEncoding
     /** True iff @p value has a code. */
     bool isFrequent(Word value) const
     {
-        return codes_.find(value) != codes_.end();
+        return lookup(value) != non_frequent_;
     }
 
     /** Code for @p value, or nonFrequentCode() if it has none. */
-    Code encode(Word value) const;
+    Code encode(Word value) const { return lookup(value); }
 
     /**
      * Value for @p code; nullopt for the non-frequent code.
@@ -72,10 +72,36 @@ class FrequentValueEncoding
     const std::vector<Word> &values() const { return values_; }
 
   private:
+    /**
+     * Probe the flat sorted table. This runs on *every* access of a
+     * DmcFvcSystem (the FVC tags and values are probed in parallel
+     * with the DMC), so it is a branchless binary search over at
+     * most 255 words instead of a hash-map lookup: the only
+     * unpredictable branch is the final equality check.
+     */
+    Code
+    lookup(Word value) const
+    {
+        const Word *base = sorted_values_.data();
+        size_t n = sorted_values_.size();
+        while (n > 1) {
+            size_t half = n / 2;
+            base += (base[half - 1] < value) ? half : 0; // cmov
+            n -= half;
+        }
+        return *base == value
+                   ? sorted_codes_[static_cast<size_t>(
+                         base - sorted_values_.data())]
+                   : non_frequent_;
+    }
+
     unsigned code_bits_;
     Code non_frequent_;
+    /** The encoded values, in code order. */
     std::vector<Word> values_;
-    std::unordered_map<Word, Code> codes_;
+    /** The same values ascending, with their codes alongside. */
+    std::vector<Word> sorted_values_;
+    std::vector<Code> sorted_codes_;
 };
 
 /**

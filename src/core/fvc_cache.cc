@@ -51,37 +51,9 @@ FrequentValueCache::FrequentValueCache(const FvcConfig &config,
     for (uint32_t i = 0; i < config_.entries; ++i)
         entries_.emplace_back(config_.wordsPerLine(),
                               config_.code_bits);
-}
-
-unsigned
-FrequentValueCache::offsetBits() const
-{
-    return util::floorLog2(config_.line_bytes);
-}
-
-unsigned
-FrequentValueCache::indexBits() const
-{
-    return util::floorLog2(config_.sets());
-}
-
-uint32_t
-FrequentValueCache::setIndex(Addr addr) const
-{
-    return static_cast<uint32_t>(
-        util::bits(addr, offsetBits(), indexBits()));
-}
-
-uint64_t
-FrequentValueCache::tagOf(Addr addr) const
-{
-    return addr >> (offsetBits() + indexBits());
-}
-
-uint32_t
-FrequentValueCache::wordOffset(Addr addr) const
-{
-    return (addr % config_.line_bytes) / trace::kWordBytes;
+    offset_bits_ = util::floorLog2(config_.line_bytes);
+    tag_shift_ = offset_bits_ + util::floorLog2(config_.sets());
+    set_mask_ = config_.sets() - 1;
 }
 
 Addr
@@ -143,6 +115,35 @@ bool
 FrequentValueCache::tagMatch(Addr addr) const
 {
     return findEntry(addr) != nullptr;
+}
+
+FrequentValueCache::ProbeOutcome
+FrequentValueCache::probeRead(Addr addr, Word &value)
+{
+    Entry *e = findEntry(addr);
+    if (!e)
+        return ProbeOutcome::NoTag;
+    e->stamp = ++clock_;
+    auto decoded = encoding_.decode(e->codes.get(wordOffset(addr)));
+    if (!decoded)
+        return ProbeOutcome::NonFrequent;
+    value = *decoded;
+    return ProbeOutcome::Hit;
+}
+
+FrequentValueCache::ProbeOutcome
+FrequentValueCache::probeWrite(Addr addr, Word value)
+{
+    Entry *e = findEntry(addr);
+    if (!e)
+        return ProbeOutcome::NoTag;
+    Code code = encoding_.encode(value);
+    if (code == encoding_.nonFrequentCode())
+        return ProbeOutcome::NonFrequent;
+    e->codes.set(wordOffset(addr), code);
+    e->dirty = true;
+    e->stamp = ++clock_;
+    return ProbeOutcome::Hit;
 }
 
 std::optional<Word>

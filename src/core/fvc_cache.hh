@@ -81,6 +81,29 @@ class FrequentValueCache
     /** True iff the entry for @p addr matches its tag. */
     bool tagMatch(Addr addr) const;
 
+    /** Outcome of a single-probe combined lookup. */
+    enum class ProbeOutcome {
+        /** No entry with a matching tag. */
+        NoTag,
+        /** Tag matched but the word/value was non-frequent. */
+        NonFrequent,
+        /** Tag matched and the word/value was frequent. */
+        Hit,
+    };
+
+    /**
+     * One-probe read: tagMatch() + readWord() fused, since the
+     * system probes the FVC on every DMC miss. On Hit, @p value
+     * receives the decoded word.
+     */
+    ProbeOutcome probeRead(Addr addr, Word &value);
+
+    /**
+     * One-probe write: tagMatch() + writeWord() fused. On Hit the
+     * code is updated and the entry marked dirty.
+     */
+    ProbeOutcome probeWrite(Addr addr, Word value);
+
     /**
      * Read the word at @p addr.
      *
@@ -160,12 +183,25 @@ class FrequentValueCache
     FrequentValueEncoding encoding_;
     std::vector<Entry> entries_;
     uint64_t clock_ = 0;
+    /** Geometry precomputed from config_ (probed on every access). */
+    unsigned offset_bits_ = 0;
+    unsigned tag_shift_ = 0;
+    uint32_t set_mask_ = 0;
 
-    unsigned offsetBits() const;
-    unsigned indexBits() const;
-    uint32_t setIndex(Addr addr) const;
-    uint64_t tagOf(Addr addr) const;
-    uint32_t wordOffset(Addr addr) const;
+    unsigned offsetBits() const { return offset_bits_; }
+    unsigned indexBits() const
+    {
+        return tag_shift_ - offset_bits_;
+    }
+    uint32_t setIndex(Addr addr) const
+    {
+        return (addr >> offset_bits_) & set_mask_;
+    }
+    uint64_t tagOf(Addr addr) const { return addr >> tag_shift_; }
+    uint32_t wordOffset(Addr addr) const
+    {
+        return (addr & (config_.line_bytes - 1)) / trace::kWordBytes;
+    }
     Addr baseOf(const Entry &entry, uint32_t set) const;
 
     Entry *findEntry(Addr addr);

@@ -1,0 +1,93 @@
+#include "harness/parallel.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::harness {
+
+unsigned
+jobCount()
+{
+    if (const char *env = std::getenv("FVC_JOBS")) {
+        auto v = util::parseUint(env);
+        if (v && *v > 0)
+            return static_cast<unsigned>(*v);
+        fvc_warn("ignoring bad FVC_JOBS value: ", env);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = jobCount();
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+        workers_.emplace_back(
+            [this](std::stop_token token) { workerLoop(token); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    waitIdle();
+    for (auto &worker : workers_)
+        worker.request_stop();
+    work_cv_.notify_all();
+    // ~jthread joins.
+}
+
+void
+ThreadPool::workerLoop(std::stop_token token)
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock lock(mutex_);
+            work_cv_.wait(lock, token,
+                          [this] { return !queue_.empty(); });
+            if (queue_.empty())
+                return; // stop requested and nothing left
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        task();
+        {
+            std::lock_guard lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                idle_cv_.notify_all();
+        }
+    }
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    work_cv_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    std::unique_lock lock(mutex_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && running_ == 0; });
+}
+
+ThreadPool &
+ThreadPool::shared()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace fvc::harness

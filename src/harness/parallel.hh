@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Parallel sweep engine: a work-queue thread pool plus a SweepRunner
+ * that fans independent (trace, system-factory) jobs across workers
+ * and hands the results back in deterministic submission order.
+ *
+ * Every paper figure is a sweep over (trace x config); replay() takes
+ * a const PreparedTrace and each CacheSystem owns its memory image,
+ * so jobs share nothing but the immutable trace and parallelize
+ * embarrassingly. Thread-safety contract (see DESIGN.md "Performance
+ * & parallel execution"): a PreparedTrace is immutable after
+ * construction, each job builds its own CacheSystem, and results are
+ * merged on the thread that calls SweepRunner::run().
+ */
+
+#ifndef FVC_HARNESS_PARALLEL_HH_
+#define FVC_HARNESS_PARALLEL_HH_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace fvc::harness {
+
+/**
+ * Worker count for parallel sweeps: the FVC_JOBS environment
+ * variable when set to a positive integer (with no trailing
+ * garbage), otherwise hardware_concurrency(). FVC_JOBS=1 forces
+ * serial execution.
+ */
+unsigned jobCount();
+
+/**
+ * A fixed-size pool of std::jthread workers draining one FIFO work
+ * queue. No work stealing: determinism comes from jobs being
+ * independent, not from scheduling order.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count; 0 means jobCount(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Joins the workers; pending tasks are still drained. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned threadCount() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Enqueue one task. Safe to call from any thread. */
+    void submit(std::function<void()> task);
+
+    /** Block until the queue is empty and no task is running. */
+    void waitIdle();
+
+    /**
+     * The process-wide pool used by SweepRunner by default. Sized
+     * by jobCount() at first use.
+     */
+    static ThreadPool &shared();
+
+  private:
+    void workerLoop(std::stop_token token);
+
+    std::mutex mutex_;
+    std::condition_variable_any work_cv_;
+    std::condition_variable idle_cv_;
+    std::deque<std::function<void()>> queue_;
+    size_t running_ = 0;
+    std::vector<std::jthread> workers_;
+};
+
+/**
+ * Collects a batch of independent jobs and runs them on a pool.
+ * Results come back in submission order regardless of worker count
+ * or completion order, so FVC_JOBS=1 and FVC_JOBS=N produce
+ * bit-identical sweep tables.
+ *
+ * Usage:
+ * @code
+ *   SweepRunner<Row> sweep;
+ *   for (const auto &config : grid)
+ *       sweep.submit([&, config] { return simulate(config); });
+ *   for (const Row &row : sweep.run())
+ *       print(row);
+ * @endcode
+ */
+template <typename R>
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(ThreadPool &pool = ThreadPool::shared())
+        : pool_(pool)
+    {
+    }
+
+    /** Queue one job; returns its index in the result vector. */
+    size_t
+    submit(std::function<R()> job)
+    {
+        jobs_.push_back(std::move(job));
+        return jobs_.size() - 1;
+    }
+
+    size_t pending() const { return jobs_.size(); }
+
+    /**
+     * Execute every submitted job and return the results in
+     * submission order. With a single-threaded pool the jobs run
+     * inline, in order, on the calling thread. The first job
+     * exception (by submission index) is rethrown after all jobs
+     * finish. The runner is empty afterwards and can be reused.
+     */
+    std::vector<R>
+    run()
+    {
+        std::vector<std::function<R()>> jobs = std::move(jobs_);
+        jobs_.clear();
+
+        std::vector<std::optional<R>> slots(jobs.size());
+        if (pool_.threadCount() <= 1 || jobs.size() <= 1) {
+            for (size_t i = 0; i < jobs.size(); ++i)
+                slots[i].emplace(jobs[i]());
+        } else {
+            std::vector<std::exception_ptr> errors(jobs.size());
+            std::mutex done_mutex;
+            std::condition_variable done_cv;
+            size_t remaining = jobs.size();
+            for (size_t i = 0; i < jobs.size(); ++i) {
+                pool_.submit([&, i] {
+                    try {
+                        slots[i].emplace(jobs[i]());
+                    } catch (...) {
+                        errors[i] = std::current_exception();
+                    }
+                    std::lock_guard lock(done_mutex);
+                    if (--remaining == 0)
+                        done_cv.notify_all();
+                });
+            }
+            std::unique_lock lock(done_mutex);
+            done_cv.wait(lock, [&] { return remaining == 0; });
+            for (const auto &error : errors) {
+                if (error)
+                    std::rethrow_exception(error);
+            }
+        }
+
+        std::vector<R> results;
+        results.reserve(slots.size());
+        for (auto &slot : slots)
+            results.push_back(std::move(*slot));
+        return results;
+    }
+
+  private:
+    ThreadPool &pool_;
+    std::vector<std::function<R()>> jobs_;
+};
+
+} // namespace fvc::harness
+
+#endif // FVC_HARNESS_PARALLEL_HH_

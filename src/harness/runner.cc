@@ -3,6 +3,7 @@
 #include <cstdlib>
 
 #include "util/logging.hh"
+#include "util/strings.hh"
 
 namespace fvc::harness {
 
@@ -15,7 +16,8 @@ prepareTrace(const workload::BenchmarkProfile &profile,
 
     workload::SyntheticWorkload gen(profile, accesses, seed);
     profiling::AccessProfiler profiler({1});
-    out.records.reserve(accesses + accesses / 8);
+    // The generator emits exactly one record per access.
+    out.records.reserve(accesses);
 
     trace::MemRecord rec;
     while (gen.next(rec)) {
@@ -30,15 +32,19 @@ prepareTrace(const workload::BenchmarkProfile &profile,
 }
 
 void
-replay(const PreparedTrace &trace, cache::CacheSystem &system)
+installInitialImage(const PreparedTrace &trace,
+                    memmodel::FunctionalMemory &image)
 {
-    // Install the preload image: the memory state the program built
-    // before the traced window.
-    memmodel::FunctionalMemory &image = system.memoryImage();
     trace.initial_image.forEachInteresting(
         [&](trace::Addr addr, trace::Word value) {
             image.write(addr, value);
         });
+}
+
+void
+replay(const PreparedTrace &trace, cache::CacheSystem &system)
+{
+    installInitialImage(trace, system.memoryImage());
     for (const auto &rec : trace.records)
         system.consume(rec);
     system.flush();
@@ -49,7 +55,7 @@ dmcMissRate(const PreparedTrace &trace,
             const cache::CacheConfig &config)
 {
     cache::DmcSystem system(config);
-    replay(trace, system);
+    replayFast(trace, system);
     return system.stats().missRatePercent();
 }
 
@@ -62,7 +68,7 @@ runDmcFvc(const PreparedTrace &trace,
                                          fvc_config.code_bits);
     auto system = std::make_unique<core::DmcFvcSystem>(
         dmc_config, fvc_config, std::move(encoding));
-    replay(trace, *system);
+    replayFast(trace, *system);
     return system;
 }
 
@@ -70,9 +76,11 @@ uint64_t
 defaultTraceAccesses()
 {
     if (const char *env = std::getenv("FVC_TRACE_ACCESSES")) {
-        uint64_t v = std::strtoull(env, nullptr, 10);
-        if (v > 0)
-            return v;
+        // Strict parse: trailing garbage ("100x") is a user error,
+        // not a 100-access run.
+        auto v = util::parseUint(env);
+        if (v && *v > 0)
+            return *v;
         fvc_warn("ignoring bad FVC_TRACE_ACCESSES value: ", env);
     }
     return 2000000;

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "cache/cache_system.hh"
@@ -47,8 +48,36 @@ PreparedTrace prepareTrace(const workload::BenchmarkProfile &profile,
                            uint64_t accesses, uint64_t seed = 1,
                            size_t top_k = 10);
 
+/** Install the preload image (the memory state the program built
+ * before the traced window) into @p image. */
+void installInitialImage(const PreparedTrace &trace,
+                         memmodel::FunctionalMemory &image);
+
 /** Replay a prepared trace through a cache system (with flush). */
 void replay(const PreparedTrace &trace, cache::CacheSystem &system);
+
+/**
+ * Replay through a *concrete* system type, bypassing virtual
+ * dispatch in the per-record loop. @p System must be the
+ * most-derived type of @p system (all concrete systems in this
+ * library are final, which enforces that): the access/flush calls
+ * are explicitly qualified, so an override in a further-derived
+ * class would be skipped.
+ */
+template <typename System>
+void
+replayFast(const PreparedTrace &trace, System &system)
+{
+    static_assert(std::is_base_of_v<cache::CacheSystem, System> &&
+                      !std::is_same_v<cache::CacheSystem, System>,
+                  "replayFast needs a concrete CacheSystem type");
+    installInitialImage(trace, system.System::memoryImage());
+    for (const auto &rec : trace.records) {
+        if (rec.isAccess())
+            system.System::access(rec);
+    }
+    system.System::flush();
+}
 
 /** Shorthand: run a bare DMC and return its miss-rate percent. */
 double dmcMissRate(const PreparedTrace &trace,

@@ -1,0 +1,90 @@
+#include "harness/trace_repo.hh"
+
+#include <functional>
+#include <utility>
+
+namespace fvc::harness {
+
+size_t
+TraceKeyHash::operator()(const TraceKey &key) const
+{
+    size_t h = std::hash<std::string>{}(key.profile);
+    auto mix = [&h](uint64_t v) {
+        h ^= std::hash<uint64_t>{}(v) + 0x9e3779b97f4a7c15ull +
+             (h << 6) + (h >> 2);
+    };
+    mix(key.accesses);
+    mix(key.seed);
+    mix(key.top_k);
+    return h;
+}
+
+TraceRepository::TracePtr
+TraceRepository::get(const workload::BenchmarkProfile &profile,
+                     uint64_t accesses, uint64_t seed, size_t top_k)
+{
+    TraceKey key{profile.name, accesses, seed, top_k};
+
+    std::promise<TracePtr> promise;
+    std::shared_future<TracePtr> future;
+    bool producer = false;
+    {
+        std::lock_guard lock(mutex_);
+        auto it = traces_.find(key);
+        if (it != traces_.end()) {
+            future = it->second;
+        } else {
+            future = promise.get_future().share();
+            traces_.emplace(key, future);
+            producer = true;
+        }
+    }
+
+    if (!producer)
+        return future.get();
+
+    // Generate outside the lock so other keys proceed in parallel.
+    try {
+        auto trace = std::make_shared<const PreparedTrace>(
+            prepareTrace(profile, accesses, seed, top_k));
+        promise.set_value(std::move(trace));
+    } catch (...) {
+        promise.set_exception(std::current_exception());
+        // Forget the failed entry so a later call can retry.
+        std::lock_guard lock(mutex_);
+        traces_.erase(key);
+        throw;
+    }
+    return future.get();
+}
+
+size_t
+TraceRepository::size() const
+{
+    std::lock_guard lock(mutex_);
+    return traces_.size();
+}
+
+void
+TraceRepository::clear()
+{
+    std::lock_guard lock(mutex_);
+    traces_.clear();
+}
+
+TraceRepository &
+TraceRepository::shared()
+{
+    static TraceRepository repo;
+    return repo;
+}
+
+TraceRepository::TracePtr
+sharedTrace(const workload::BenchmarkProfile &profile,
+            uint64_t accesses, uint64_t seed, size_t top_k)
+{
+    return TraceRepository::shared().get(profile, accesses, seed,
+                                         top_k);
+}
+
+} // namespace fvc::harness

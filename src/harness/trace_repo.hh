@@ -1,0 +1,94 @@
+/**
+ * @file
+ * TraceRepository: a shared, memoizing store of PreparedTraces.
+ *
+ * Sweep-shaped benches replay one trace through many configurations;
+ * before the repository each bench (and each config loop iteration
+ * in some of them) regenerated an identical trace from scratch.
+ * The repository memoizes prepareTrace() by (profile name, accesses,
+ * seed, top_k) so that concurrent sweep jobs share one immutable
+ * trace, and generation for *distinct* keys proceeds in parallel:
+ * the first caller of a key generates while callers of other keys
+ * generate theirs, and later callers of the same key block only on
+ * that key's completion.
+ */
+
+#ifndef FVC_HARNESS_TRACE_REPO_HH_
+#define FVC_HARNESS_TRACE_REPO_HH_
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "harness/runner.hh"
+
+namespace fvc::harness {
+
+/** Memoization key: everything prepareTrace() depends on. */
+struct TraceKey
+{
+    std::string profile;
+    uint64_t accesses = 0;
+    uint64_t seed = 0;
+    size_t top_k = 0;
+
+    bool operator==(const TraceKey &) const = default;
+};
+
+struct TraceKeyHash
+{
+    size_t operator()(const TraceKey &key) const;
+};
+
+/**
+ * The shared trace store. All methods are safe to call from any
+ * thread; the returned traces are immutable and may be replayed
+ * concurrently.
+ *
+ * The key uses the profile *name*: callers that vary a profile's
+ * contents while keeping its name (custom kernels, input-set
+ * variants) must use distinct seeds or bypass the repository.
+ */
+class TraceRepository
+{
+  public:
+    using TracePtr = std::shared_ptr<const PreparedTrace>;
+
+    /**
+     * The trace for (profile, accesses, seed, top_k), generating it
+     * on first request. Repeated lookups return the same object
+     * (pointer-equal).
+     */
+    TracePtr get(const workload::BenchmarkProfile &profile,
+                 uint64_t accesses, uint64_t seed = 1,
+                 size_t top_k = 10);
+
+    /** Number of traces generated (or in flight). */
+    size_t size() const;
+
+    /** Drop every cached trace (outstanding TracePtrs stay valid). */
+    void clear();
+
+    /** The process-wide repository. */
+    static TraceRepository &shared();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<TraceKey, std::shared_future<TracePtr>,
+                       TraceKeyHash>
+        traces_;
+};
+
+/**
+ * Shorthand: fetch from the process-wide repository.
+ */
+TraceRepository::TracePtr
+sharedTrace(const workload::BenchmarkProfile &profile,
+            uint64_t accesses, uint64_t seed = 1, size_t top_k = 10);
+
+} // namespace fvc::harness
+
+#endif // FVC_HARNESS_TRACE_REPO_HH_

@@ -37,24 +37,55 @@ FunctionalMemory::operator=(const FunctionalMemory &other)
     if (this == &other)
         return *this;
     pages_.clear();
+    last_page_ = nullptr;
     for (const auto &[num, page] : other.pages_)
         pages_[num] = std::make_unique<Page>(*page);
+    return *this;
+}
+
+FunctionalMemory::FunctionalMemory(FunctionalMemory &&other) noexcept
+    : pages_(std::move(other.pages_)),
+      last_page_num_(other.last_page_num_),
+      last_page_(other.last_page_)
+{
+    // The pages (and thus the cached pointer) moved here; the
+    // source must not serve stale cache hits if reused.
+    other.last_page_ = nullptr;
+}
+
+FunctionalMemory &
+FunctionalMemory::operator=(FunctionalMemory &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    pages_ = std::move(other.pages_);
+    last_page_num_ = other.last_page_num_;
+    last_page_ = other.last_page_;
+    other.last_page_ = nullptr;
     return *this;
 }
 
 Page &
 FunctionalMemory::pageFor(Addr addr)
 {
-    auto &slot = pages_[pageNumber(addr)];
+    uint32_t num = pageNumber(addr);
+    if (last_page_ && last_page_num_ == num)
+        return *last_page_;
+    auto &slot = pages_[num];
     if (!slot)
         slot = std::make_unique<Page>();
+    last_page_num_ = num;
+    last_page_ = slot.get();
     return *slot;
 }
 
 const Page *
 FunctionalMemory::pageIfPresent(Addr addr) const
 {
-    auto it = pages_.find(pageNumber(addr));
+    uint32_t num = pageNumber(addr);
+    if (last_page_ && last_page_num_ == num)
+        return last_page_;
+    auto it = pages_.find(num);
     return it == pages_.end() ? nullptr : it->second.get();
 }
 
@@ -63,6 +94,20 @@ FunctionalMemory::read(Addr addr) const
 {
     const Page *page = pageIfPresent(addr);
     return page ? page->data[pageOffsetWords(addr)] : 0;
+}
+
+Word
+FunctionalMemory::read(Addr addr)
+{
+    uint32_t num = pageNumber(addr);
+    if (!(last_page_ && last_page_num_ == num)) {
+        auto it = pages_.find(num);
+        if (it == pages_.end())
+            return 0;
+        last_page_num_ = num;
+        last_page_ = it->second.get();
+    }
+    return last_page_->data[pageOffsetWords(addr)];
 }
 
 void
@@ -169,6 +214,7 @@ void
 FunctionalMemory::clear()
 {
     pages_.clear();
+    last_page_ = nullptr;
 }
 
 bool

@@ -55,11 +55,17 @@ class FunctionalMemory
     /** Deep copy (pages are duplicated). */
     FunctionalMemory(const FunctionalMemory &other);
     FunctionalMemory &operator=(const FunctionalMemory &other);
-    FunctionalMemory(FunctionalMemory &&) = default;
-    FunctionalMemory &operator=(FunctionalMemory &&) = default;
+    FunctionalMemory(FunctionalMemory &&other) noexcept;
+    FunctionalMemory &operator=(FunctionalMemory &&other) noexcept;
 
     /** Read the word at @p addr (0 if never written). */
     Word read(Addr addr) const;
+
+    /**
+     * Non-const overload: also refreshes the last-page cache, so a
+     * line fetch's consecutive reads cost one hash lookup total.
+     */
+    Word read(Addr addr);
 
     /** Write @p value to the word at @p addr, marking it referenced. */
     void write(Addr addr, Word value);
@@ -119,6 +125,17 @@ class FunctionalMemory
 
   private:
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;
+    /**
+     * One-entry cache of the last page touched by a mutating
+     * accessor: sequential access streams (line fetches,
+     * writebacks, image installs) skip the hash lookup. Page
+     * pointers are heap-stable across map growth, so the cache only
+     * needs resetting when pages are dropped (clear, copy-assign).
+     * Const accessors consult but never update it, keeping
+     * concurrent reads of a shared immutable memory race-free.
+     */
+    uint32_t last_page_num_ = 0;
+    Page *last_page_ = nullptr;
 
     Page &pageFor(Addr addr);
     const Page *pageIfPresent(Addr addr) const;

@@ -1,8 +1,26 @@
 #include "util/strings.hh"
 
 #include <cstdio>
+#include <limits>
 
 namespace fvc::util {
+
+std::optional<uint64_t>
+parseUint(const std::string &s)
+{
+    if (s.empty())
+        return std::nullopt;
+    uint64_t value = 0;
+    for (char c : s) {
+        if (c < '0' || c > '9')
+            return std::nullopt;
+        uint64_t digit = static_cast<uint64_t>(c - '0');
+        if (value > (std::numeric_limits<uint64_t>::max() - digit) / 10)
+            return std::nullopt; // overflow
+        value = value * 10 + digit;
+    }
+    return value;
+}
 
 std::string
 hex32(uint32_t value)

@@ -8,10 +8,19 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace fvc::util {
+
+/**
+ * Parse a non-negative decimal integer strictly: the whole string
+ * must be digits (no sign, no trailing garbage — "100x" is
+ * rejected, not truncated to 100). nullopt on empty input, stray
+ * characters, or overflow.
+ */
+std::optional<uint64_t> parseUint(const std::string &s);
 
 /** Format a 32-bit value as lowercase hex without leading zeros. */
 std::string hex32(uint32_t value);

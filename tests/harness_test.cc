@@ -83,6 +83,18 @@ TEST(RunnerTest, DefaultAccessesRespectsEnvironment)
     EXPECT_EQ(fh::defaultTraceAccesses(), 2000000u);
 }
 
+TEST(RunnerTest, DefaultAccessesRejectsMalformedEnvironment)
+{
+    // Trailing garbage is a user error, not a truncated run: the
+    // whole value is rejected and the default used instead.
+    for (const char *bad : {"100x", "1e6", "0", "-5", "", " 100"}) {
+        setenv("FVC_TRACE_ACCESSES", bad, 1);
+        EXPECT_EQ(fh::defaultTraceAccesses(), 2000000u)
+            << "FVC_TRACE_ACCESSES=" << bad;
+    }
+    unsetenv("FVC_TRACE_ACCESSES");
+}
+
 TEST(PaperDataTest, Table4CoversAllBenchmarks)
 {
     EXPECT_EQ(fh::paperTable4().size(), 8u);

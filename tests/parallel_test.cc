@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Tests for the parallel sweep engine: FVC_JOBS parsing, the thread
+ * pool, SweepRunner's deterministic result ordering, and the shared
+ * TraceRepository's memoization under concurrent lookup.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+
+#include "cache/cache_system.hh"
+#include "harness/parallel.hh"
+#include "harness/runner.hh"
+#include "harness/trace_repo.hh"
+
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace fc = fvc::cache;
+namespace co = fvc::core;
+
+namespace {
+
+/** Exact per-config miss counts: bit-identical or bust. */
+struct MissCounts
+{
+    uint64_t read_misses = 0;
+    uint64_t write_misses = 0;
+    uint64_t writebacks = 0;
+    uint64_t fvc_read_hits = 0;
+    uint64_t fvc_write_hits = 0;
+
+    bool operator==(const MissCounts &) const = default;
+};
+
+/** A fig12-shaped cell: bare DMC plus DMC+FVC on a shared trace. */
+MissCounts
+simulateCell(const fw::BenchmarkProfile &profile, uint32_t kb,
+             uint32_t line, uint64_t accesses)
+{
+    auto trace = fh::sharedTrace(profile, accesses, 4242);
+    fc::CacheConfig dmc;
+    dmc.size_bytes = kb * 1024;
+    dmc.line_bytes = line;
+
+    fc::DmcSystem base(dmc);
+    fh::replayFast(*trace, base);
+
+    co::FvcConfig fvc;
+    fvc.entries = 128;
+    fvc.line_bytes = line;
+    fvc.code_bits = 3;
+    auto sys = fh::runDmcFvc(*trace, dmc, fvc);
+
+    MissCounts counts;
+    counts.read_misses = base.stats().read_misses +
+                         sys->stats().read_misses;
+    counts.write_misses = base.stats().write_misses +
+                          sys->stats().write_misses;
+    counts.writebacks = base.stats().writebacks +
+                        sys->stats().writebacks;
+    counts.fvc_read_hits = sys->fvcStats().fvc_read_hits;
+    counts.fvc_write_hits = sys->fvcStats().fvc_write_hits;
+    return counts;
+}
+
+std::vector<MissCounts>
+runGrid(fh::ThreadPool &pool)
+{
+    fh::SweepRunner<MissCounts> sweep(pool);
+    for (auto bench :
+         {fw::SpecInt::Go099, fw::SpecInt::M88ksim124}) {
+        auto profile = fw::specIntProfile(bench);
+        for (uint32_t kb : {4u, 8u}) {
+            for (uint32_t line : {16u, 32u}) {
+                sweep.submit([profile, kb, line] {
+                    return simulateCell(profile, kb, line, 20000);
+                });
+            }
+        }
+    }
+    return sweep.run();
+}
+
+} // namespace
+
+TEST(JobCountTest, RespectsEnvironment)
+{
+    setenv("FVC_JOBS", "3", 1);
+    EXPECT_EQ(fh::jobCount(), 3u);
+    setenv("FVC_JOBS", "1", 1);
+    EXPECT_EQ(fh::jobCount(), 1u);
+    unsetenv("FVC_JOBS");
+    EXPECT_GE(fh::jobCount(), 1u);
+}
+
+TEST(JobCountTest, RejectsGarbage)
+{
+    unsigned fallback = fh::jobCount();
+    for (const char *bad : {"0", "-2", "abc", "4x", ""}) {
+        setenv("FVC_JOBS", bad, 1);
+        EXPECT_EQ(fh::jobCount(), fallback) << "FVC_JOBS=" << bad;
+    }
+    unsetenv("FVC_JOBS");
+}
+
+TEST(ThreadPoolTest, DrainsAllTasks)
+{
+    fh::ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.waitIdle();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(SweepRunnerTest, ResultsInSubmissionOrder)
+{
+    fh::ThreadPool pool(4);
+    fh::SweepRunner<size_t> sweep(pool);
+    for (size_t i = 0; i < 64; ++i) {
+        sweep.submit([i] {
+            // Vary runtimes so completion order scrambles.
+            std::this_thread::sleep_for(
+                std::chrono::microseconds((64 - i) * 10));
+            return i;
+        });
+    }
+    auto results = sweep.run();
+    ASSERT_EQ(results.size(), 64u);
+    for (size_t i = 0; i < results.size(); ++i)
+        EXPECT_EQ(results[i], i);
+}
+
+TEST(SweepRunnerTest, ReusableAfterRun)
+{
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    sweep.submit([] { return 1; });
+    EXPECT_EQ(sweep.run(), std::vector<int>{1});
+    EXPECT_EQ(sweep.pending(), 0u);
+    sweep.submit([] { return 2; });
+    sweep.submit([] { return 3; });
+    EXPECT_EQ(sweep.run(), (std::vector<int>{2, 3}));
+}
+
+TEST(SweepRunnerTest, RethrowsFirstExceptionByIndex)
+{
+    fh::ThreadPool pool(4);
+    fh::SweepRunner<int> sweep(pool);
+    sweep.submit([] { return 0; });
+    sweep.submit([]() -> int {
+        throw std::runtime_error("job 1 failed");
+    });
+    sweep.submit([]() -> int {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        throw std::runtime_error("job 2 failed");
+    });
+    try {
+        sweep.run();
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "job 1 failed");
+    }
+}
+
+TEST(SweepRunnerTest, SerialAndParallelBitIdentical)
+{
+    // The acceptance gate of the sweep engine: a fig12-shaped grid
+    // must give bit-identical miss counts with 1 worker (inline
+    // execution) and N workers.
+    fh::ThreadPool serial(1);
+    fh::ThreadPool wide(4);
+    auto serial_counts = runGrid(serial);
+    auto wide_counts = runGrid(wide);
+    ASSERT_EQ(serial_counts.size(), wide_counts.size());
+    for (size_t i = 0; i < serial_counts.size(); ++i)
+        EXPECT_EQ(serial_counts[i], wide_counts[i]) << "cell " << i;
+}
+
+TEST(TraceRepositoryTest, MemoizesByKey)
+{
+    fh::TraceRepository repo;
+    auto profile = fw::specIntProfile(fw::SpecInt::Li130);
+    auto a = repo.get(profile, 5000, 11);
+    auto b = repo.get(profile, 5000, 11);
+    EXPECT_EQ(a.get(), b.get());
+    EXPECT_EQ(repo.size(), 1u);
+
+    auto c = repo.get(profile, 5000, 12);
+    EXPECT_NE(a.get(), c.get());
+    auto d = repo.get(profile, 6000, 11);
+    EXPECT_NE(a.get(), d.get());
+    EXPECT_EQ(repo.size(), 3u);
+
+    repo.clear();
+    EXPECT_EQ(repo.size(), 0u);
+    // Outstanding pointers survive the clear; re-fetch regenerates.
+    EXPECT_GE(a->records.size(), 5000u);
+    auto e = repo.get(profile, 5000, 11);
+    EXPECT_NE(a.get(), e.get());
+}
+
+TEST(TraceRepositoryTest, PointerEqualUnderConcurrentLookup)
+{
+    fh::TraceRepository repo;
+    auto profile = fw::specIntProfile(fw::SpecInt::Gcc126);
+    constexpr int kThreads = 8;
+    std::vector<fh::TraceRepository::TracePtr> seen(kThreads);
+    {
+        std::vector<std::jthread> threads;
+        threads.reserve(kThreads);
+        for (int t = 0; t < kThreads; ++t) {
+            threads.emplace_back([&repo, &profile, &seen, t] {
+                seen[t] = repo.get(profile, 10000, 33);
+            });
+        }
+    }
+    for (int t = 1; t < kThreads; ++t)
+        EXPECT_EQ(seen[0].get(), seen[t].get()) << "thread " << t;
+    EXPECT_EQ(repo.size(), 1u);
+    EXPECT_EQ(seen[0]->name, "126.gcc");
+}
+
+TEST(TraceRepositoryTest, UsableFromPoolWorkers)
+{
+    // Sweep jobs fetch traces from inside pool workers; the first
+    // caller generates while later callers of the same key block
+    // only on that key.
+    fh::ThreadPool pool(4);
+    fh::TraceRepository repo;
+    auto profile = fw::specIntProfile(fw::SpecInt::Perl134);
+    fh::SweepRunner<const fvc::harness::PreparedTrace *> sweep(pool);
+    for (int i = 0; i < 16; ++i) {
+        sweep.submit([&repo, &profile] {
+            return repo.get(profile, 8000, 55).get();
+        });
+    }
+    auto ptrs = sweep.run();
+    for (const auto *ptr : ptrs)
+        EXPECT_EQ(ptr, ptrs[0]);
+    EXPECT_EQ(repo.size(), 1u);
+}

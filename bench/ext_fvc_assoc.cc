@@ -61,7 +61,8 @@ main()
             });
         }
     }
-    auto rates = sweep.run();
+    auto rates =
+        harness::runDegraded(sweep, "FVC associativity sweep");
 
     util::Table table({"benchmark", "DMC miss %", "1-way red %",
                        "2-way red %", "4-way red %"});
@@ -71,14 +72,19 @@ main()
     size_t job = 0;
     for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        double base = rates[job++];
-        std::vector<std::string> row = {profile.name,
-                                        util::fixedStr(base, 3)};
+        auto base = rates[job++];
+        std::vector<std::string> row = {
+            profile.name, base ? util::fixedStr(*base, 3)
+                               : harness::failedCell()};
         for (size_t i = 0; i < assocs.size(); ++i) {
-            double with = rates[job++];
+            auto with = rates[job++];
+            if (!base || !with) {
+                row.push_back(harness::failedCell());
+                continue;
+            }
             row.push_back(
-                util::fixedStr(100.0 * (base - with) /
-                                   (base > 0.0 ? base : 1.0),
+                util::fixedStr(100.0 * (*base - *with) /
+                                   (*base > 0.0 ? *base : 1.0),
                                1));
         }
         table.addRow(row);

@@ -69,18 +69,23 @@ main()
             });
         }
     }
-    auto rates = sweep.run();
+    auto rates = harness::runDegraded(sweep, "Figure 10 sweep");
 
     size_t job = 0;
     for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        double base = rates[job++];
-        std::vector<std::string> row = {profile.name,
-                                        util::fixedStr(base, 3)};
+        auto base = rates[job++];
+        std::vector<std::string> row = {
+            profile.name, base ? util::fixedStr(*base, 3)
+                               : harness::failedCell()};
         for (size_t i = 0; i < entry_counts.size(); ++i) {
-            double with = rates[job++];
-            double reduction = 100.0 * (base - with) /
-                               (base > 0.0 ? base : 1.0);
+            auto with = rates[job++];
+            if (!base || !with) {
+                row.push_back(harness::failedCell());
+                continue;
+            }
+            double reduction = 100.0 * (*base - *with) /
+                               (*base > 0.0 ? *base : 1.0);
             row.push_back(util::fixedStr(reduction, 1));
         }
         table.addRow(row);

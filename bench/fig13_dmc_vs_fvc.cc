@@ -98,8 +98,10 @@ main()
         }
     }
 
-    auto doubled_rates = doubled_sweep.run();
-    auto fvc_rates = fvc_sweep.run();
+    auto doubled_rates =
+        harness::runDegraded(doubled_sweep, "Figure 13 2x-DMC runs");
+    auto fvc_rates =
+        harness::runDegraded(fvc_sweep, "Figure 13 DMC+FVC runs");
 
     size_t fvc_job = 0;
     for (unsigned code_bits : code_bit_sections) {
@@ -118,8 +120,8 @@ main()
             auto profile = workload::specIntProfile(bench);
             const std::string &name = profile.name;
             for (const auto &row : kRows) {
-                double with_fvc = fvc_rates[fvc_job++];
-                double doubled = doubled_rates[doubled_job++];
+                auto with_fvc = fvc_rates[fvc_job++];
+                auto doubled = doubled_rates[doubled_job++];
 
                 core::FvcConfig fvc;
                 fvc.entries = 512;
@@ -146,10 +148,14 @@ main()
                      std::to_string(row.dmc_kb) + "Kb+" +
                          util::sizeStr(static_cast<uint64_t>(
                              core::fvcDataKilobytes(fvc) * 1024)),
-                     util::fixedStr(with_fvc, 3),
+                     with_fvc ? util::fixedStr(*with_fvc, 3)
+                              : harness::failedCell(),
                      std::to_string(row.bigger_kb) + "Kb",
-                     util::fixedStr(doubled, 3),
-                     with_fvc < doubled ? "yes" : "no",
+                     doubled ? util::fixedStr(*doubled, 3)
+                             : harness::failedCell(),
+                     with_fvc && doubled
+                         ? (*with_fvc < *doubled ? "yes" : "no")
+                         : "?",
                      paper_fvc, paper_big});
             }
             table.addSeparator();

@@ -69,7 +69,7 @@ main()
             });
         }
     }
-    auto cells = sweep.run();
+    auto cells = harness::runDegraded(sweep, "Figure 14 sweep");
 
     util::Table table({"benchmark", "assoc", "miss % (no FVC)",
                        "miss % (FVC)", "reduction %"});
@@ -80,7 +80,16 @@ main()
     for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
         for (uint32_t assoc : assocs) {
-            const Cell &cell = cells[job++];
+            const auto &slot = cells[job++];
+            if (!slot) {
+                table.addRow({profile.name,
+                              std::to_string(assoc) + "-way",
+                              harness::failedCell(),
+                              harness::failedCell(),
+                              harness::failedCell()});
+                continue;
+            }
+            const Cell &cell = *slot;
             table.addRow({profile.name,
                           std::to_string(assoc) + "-way",
                           util::fixedStr(cell.base, 3),

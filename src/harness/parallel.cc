@@ -1,9 +1,11 @@
 #include "harness/parallel.hh"
 
+#include <atomic>
 #include <cstdlib>
 
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "verify/fault_injector.hh"
 
 namespace fvc::harness {
 
@@ -18,6 +20,30 @@ jobCount()
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
+}
+
+unsigned
+sweepRetries()
+{
+    if (const char *env = std::getenv("FVC_RETRIES")) {
+        auto v = util::parseUint(env);
+        if (v)
+            return static_cast<unsigned>(*v);
+        fvc_warn("ignoring bad FVC_RETRIES value: ", env);
+    }
+    return 2;
+}
+
+uint64_t
+jobTimeoutMs()
+{
+    if (const char *env = std::getenv("FVC_JOB_TIMEOUT_MS")) {
+        auto v = util::parseUint(env);
+        if (v)
+            return *v;
+        fvc_warn("ignoring bad FVC_JOB_TIMEOUT_MS value: ", env);
+    }
+    return 0;
 }
 
 ThreadPool::ThreadPool(unsigned threads)
@@ -89,5 +115,132 @@ ThreadPool::shared()
     static ThreadPool pool;
     return pool;
 }
+
+std::string
+JobFailure::describe() const
+{
+    std::string out = "#" + std::to_string(index);
+    if (attempts > 1)
+        out += " (" + std::to_string(attempts) + " attempts)";
+    if (timed_out)
+        out += " [timed out]";
+    out += ": " + message;
+    return out;
+}
+
+std::string
+summarizeFailures(const std::vector<JobFailure> &failures,
+                  size_t total_jobs)
+{
+    std::string out = std::to_string(failures.size()) + "/" +
+                      std::to_string(total_jobs) +
+                      " sweep jobs failed: ";
+    for (size_t i = 0; i < failures.size(); ++i) {
+        if (i)
+            out += "; ";
+        out += failures[i].describe();
+    }
+    return out;
+}
+
+JobWatchdog::JobWatchdog(uint64_t timeout_ms)
+    : timeout_ms_(timeout_ms)
+{
+    if (enabled()) {
+        monitor_ = std::jthread(
+            [this](std::stop_token token) { monitorLoop(token); });
+    }
+}
+
+JobWatchdog::~JobWatchdog()
+{
+    if (monitor_.joinable()) {
+        monitor_.request_stop();
+        cv_.notify_all();
+    }
+    // ~jthread joins.
+}
+
+uint64_t
+JobWatchdog::start(size_t index)
+{
+    if (!enabled())
+        return 0;
+    std::lock_guard lock(mutex_);
+    uint64_t ticket = ++next_ticket_;
+    inflight_.emplace(
+        ticket,
+        InFlight{index,
+                 std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(timeout_ms_),
+                 false});
+    cv_.notify_all();
+    return ticket;
+}
+
+bool
+JobWatchdog::finish(uint64_t ticket)
+{
+    if (!enabled())
+        return false;
+    std::lock_guard lock(mutex_);
+    auto it = inflight_.find(ticket);
+    if (it == inflight_.end())
+        return false;
+    // Count a deadline that passed while nobody was watching, too:
+    // expiry is a property of the clock, not of the monitor's
+    // scheduling.
+    bool expired = it->second.expired ||
+                   std::chrono::steady_clock::now() >=
+                       it->second.deadline;
+    inflight_.erase(it);
+    return expired;
+}
+
+void
+JobWatchdog::monitorLoop(std::stop_token token)
+{
+    std::unique_lock lock(mutex_);
+    while (!token.stop_requested()) {
+        auto now = std::chrono::steady_clock::now();
+        auto next_wake =
+            now + std::chrono::milliseconds(timeout_ms_);
+        for (auto &[ticket, job] : inflight_) {
+            if (job.expired)
+                continue;
+            if (job.deadline <= now) {
+                job.expired = true;
+                fvc_warn("sweep job #", job.index, " exceeded ",
+                         timeout_ms_,
+                         "ms watchdog; its result will be "
+                         "discarded");
+            } else if (job.deadline < next_wake) {
+                next_wake = job.deadline;
+            }
+        }
+        cv_.wait_until(lock, token, next_wake,
+                       [] { return false; });
+    }
+}
+
+namespace detail {
+
+size_t
+nextGlobalSweepIndex()
+{
+    static std::atomic<size_t> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::optional<uint64_t>
+injectedSweepFailure()
+{
+    auto spec = verify::FaultSpec::fromEnv();
+    if (!spec)
+        return std::nullopt;
+    return spec->sweep_job;
+}
+
+} // namespace detail
 
 } // namespace fvc::harness

@@ -11,21 +11,35 @@
  * & parallel execution"): a PreparedTrace is immutable after
  * construction, each job builds its own CacheSystem, and results are
  * merged on the thread that calls SweepRunner::run().
+ *
+ * Failure handling (DESIGN.md "Failure handling & integrity
+ * contract"): one throwing job must not cost the whole figure.
+ * runChecked() captures every job's failure — with bounded retry of
+ * TransientErrors (FVC_RETRIES) and a per-job wall-clock watchdog
+ * (FVC_JOB_TIMEOUT_MS) — and returns partial results; run() keeps
+ * the throwing interface but reports *all* failures, indexed, in
+ * one SweepError.
  */
 
 #ifndef FVC_HARNESS_PARALLEL_HH_
 #define FVC_HARNESS_PARALLEL_HH_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "util/error.hh"
 
 namespace fvc::harness {
 
@@ -36,6 +50,14 @@ namespace fvc::harness {
  * serial execution.
  */
 unsigned jobCount();
+
+/** FVC_RETRIES: extra attempts for jobs that throw TransientError
+ * (default 2). Fatal (non-transient) failures never retry. */
+unsigned sweepRetries();
+
+/** FVC_JOB_TIMEOUT_MS: per-job wall-clock budget in milliseconds;
+ * 0 (the default) disables the watchdog. */
+uint64_t jobTimeoutMs();
 
 /**
  * A fixed-size pool of std::jthread workers draining one FIFO work
@@ -82,6 +104,148 @@ class ThreadPool
     std::vector<std::jthread> workers_;
 };
 
+/** One failed sweep job, identified by submission index. */
+struct JobFailure
+{
+    /** Submission index within this SweepRunner batch. */
+    size_t index = 0;
+    /** what() of the last attempt's exception, or the timeout. */
+    std::string message;
+    /** Attempts made (1 means no retry happened). */
+    unsigned attempts = 1;
+    /** The watchdog expired this job. */
+    bool timed_out = false;
+
+    /** "#3 (2 attempts): out of memory" */
+    std::string describe() const;
+};
+
+/** One line per failure, e.g. "2/56 sweep jobs failed: ...". */
+std::string summarizeFailures(
+    const std::vector<JobFailure> &failures, size_t total_jobs);
+
+/**
+ * Everything a checked sweep produced: one slot per submitted job
+ * (nullopt = that job failed) plus the failure list, ordered by
+ * index. failures is empty iff every slot is engaged.
+ */
+template <typename R>
+struct SweepOutcome
+{
+    std::vector<std::optional<R>> results;
+    std::vector<JobFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+};
+
+/**
+ * Thrown by SweepRunner::run() after all jobs finished when at
+ * least one failed; what() carries the indexed summary of every
+ * failure, not just the first.
+ */
+class SweepError : public std::runtime_error
+{
+  public:
+    SweepError(const std::string &what,
+               std::vector<JobFailure> failures)
+        : std::runtime_error(what), failures_(std::move(failures))
+    {
+    }
+
+    const std::vector<JobFailure> &failures() const
+    {
+        return failures_;
+    }
+
+  private:
+    std::vector<JobFailure> failures_;
+};
+
+/**
+ * Wall-clock watchdog over in-flight sweep jobs. A monitor thread
+ * warns the moment a running job crosses its deadline (so a hung
+ * sweep is visible while it hangs); finish() tells the caller
+ * whether the job's result should be discarded as timed out.
+ * Cooperative only: a job cannot be preempted, so an expired job's
+ * result is dropped when (if) it completes.
+ */
+class JobWatchdog
+{
+  public:
+    /** @param timeout_ms per-job budget; 0 disables everything. */
+    explicit JobWatchdog(uint64_t timeout_ms);
+    ~JobWatchdog();
+
+    JobWatchdog(const JobWatchdog &) = delete;
+    JobWatchdog &operator=(const JobWatchdog &) = delete;
+
+    bool enabled() const { return timeout_ms_ > 0; }
+
+    /** Register job @p index as started; returns a ticket. */
+    uint64_t start(size_t index);
+
+    /** Deregister a job; true iff its deadline had expired. */
+    bool finish(uint64_t ticket);
+
+  private:
+    void monitorLoop(std::stop_token token);
+
+    struct InFlight
+    {
+        size_t index;
+        std::chrono::steady_clock::time_point deadline;
+        bool expired = false;
+    };
+
+    uint64_t timeout_ms_;
+    std::mutex mutex_;
+    std::condition_variable_any cv_;
+    std::map<uint64_t, InFlight> inflight_;
+    uint64_t next_ticket_ = 0;
+    std::jthread monitor_;
+};
+
+namespace detail {
+
+/** Process-wide submission counter for FVC_FAULT_SPEC sweep_job. */
+size_t nextGlobalSweepIndex();
+
+/** The sweep_job index of FVC_FAULT_SPEC, if any (read per call). */
+std::optional<uint64_t> injectedSweepFailure();
+
+/**
+ * Run one job with bounded retry of TransientErrors. On success
+ * @p slot is engaged and nullopt returned; otherwise the failure.
+ */
+template <typename R>
+std::optional<JobFailure>
+runJobAttempts(const std::function<R()> &job, size_t index,
+               unsigned retries, std::optional<R> &slot)
+{
+    JobFailure failure;
+    failure.index = index;
+    for (unsigned attempt = 1;; ++attempt) {
+        failure.attempts = attempt;
+        try {
+            slot.emplace(job());
+            return std::nullopt;
+        } catch (const util::TransientError &e) {
+            failure.message = e.what();
+            if (attempt <= retries)
+                continue;
+            return failure;
+        } catch (const std::exception &e) {
+            failure.message = e.what();
+            return failure;
+        } catch (...) {
+            failure.message = "unknown exception";
+            return failure;
+        }
+    }
+}
+
+} // namespace detail
+
 /**
  * Collects a batch of independent jobs and runs them on a pool.
  * Results come back in submission order regardless of worker count
@@ -117,34 +281,74 @@ class SweepRunner
     size_t pending() const { return jobs_.size(); }
 
     /**
-     * Execute every submitted job and return the results in
-     * submission order. With a single-threaded pool the jobs run
-     * inline, in order, on the calling thread. The first job
-     * exception (by submission index) is rethrown after all jobs
-     * finish. The runner is empty afterwards and can be reused.
+     * Execute every submitted job, capturing failures instead of
+     * throwing: each TransientError retries up to sweepRetries()
+     * extra times, each job is under the jobTimeoutMs() watchdog,
+     * and a job matching FVC_FAULT_SPEC's sweep_job index fails by
+     * injection. With a single-threaded pool the jobs run inline,
+     * in order, on the calling thread. The runner is empty
+     * afterwards and can be reused.
      */
-    std::vector<R>
-    run()
+    SweepOutcome<R>
+    runChecked()
     {
         std::vector<std::function<R()>> jobs = std::move(jobs_);
         jobs_.clear();
 
-        std::vector<std::optional<R>> slots(jobs.size());
+        // Deterministic (submission-ordered) bookkeeping: global
+        // indices for fault injection are assigned here, never on
+        // workers.
+        const auto inject = detail::injectedSweepFailure();
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            size_t global = detail::nextGlobalSweepIndex();
+            if (inject && *inject == global) {
+                jobs[i] = [global]() -> R {
+                    throw std::runtime_error(
+                        "fault injector: forced failure of sweep "
+                        "job #" +
+                        std::to_string(global) +
+                        " (FVC_FAULT_SPEC sweep_job)");
+                };
+            }
+        }
+
+        const unsigned retries = sweepRetries();
+        JobWatchdog watchdog(jobTimeoutMs());
+
+        SweepOutcome<R> outcome;
+        outcome.results.resize(jobs.size());
+        std::vector<std::optional<JobFailure>> failed(jobs.size());
+
+        auto runOne = [&](size_t i) {
+            uint64_t ticket = watchdog.start(i);
+            failed[i] = detail::runJobAttempts(
+                jobs[i], i, retries, outcome.results[i]);
+            if (watchdog.finish(ticket)) {
+                // Too late: the slot is untrustworthy under the
+                // job's time budget; report instead of returning.
+                outcome.results[i].reset();
+                JobFailure timeout;
+                timeout.index = i;
+                timeout.message =
+                    "exceeded FVC_JOB_TIMEOUT_MS (" +
+                    std::to_string(jobTimeoutMs()) + " ms)";
+                timeout.attempts =
+                    failed[i] ? failed[i]->attempts : 1;
+                timeout.timed_out = true;
+                failed[i] = timeout;
+            }
+        };
+
         if (pool_.threadCount() <= 1 || jobs.size() <= 1) {
             for (size_t i = 0; i < jobs.size(); ++i)
-                slots[i].emplace(jobs[i]());
+                runOne(i);
         } else {
-            std::vector<std::exception_ptr> errors(jobs.size());
             std::mutex done_mutex;
             std::condition_variable done_cv;
             size_t remaining = jobs.size();
             for (size_t i = 0; i < jobs.size(); ++i) {
                 pool_.submit([&, i] {
-                    try {
-                        slots[i].emplace(jobs[i]());
-                    } catch (...) {
-                        errors[i] = std::current_exception();
-                    }
+                    runOne(i);
                     std::lock_guard lock(done_mutex);
                     if (--remaining == 0)
                         done_cv.notify_all();
@@ -152,15 +356,37 @@ class SweepRunner
             }
             std::unique_lock lock(done_mutex);
             done_cv.wait(lock, [&] { return remaining == 0; });
-            for (const auto &error : errors) {
-                if (error)
-                    std::rethrow_exception(error);
-            }
         }
 
+        for (auto &failure : failed) {
+            if (failure)
+                outcome.failures.push_back(std::move(*failure));
+        }
+        return outcome;
+    }
+
+    /**
+     * Execute every submitted job and return the results in
+     * submission order. If any jobs failed (after retry), throws
+     * one SweepError summarizing *all* of them — by index — once
+     * every job has finished.
+     */
+    std::vector<R>
+    run()
+    {
+        size_t total = jobs_.size();
+        SweepOutcome<R> outcome = runChecked();
+        if (!outcome.failures.empty()) {
+            // Summarize before handing the vector over: constructor
+            // arguments are unsequenced, so moving it in the same
+            // call could empty it first.
+            std::string summary =
+                summarizeFailures(outcome.failures, total);
+            throw SweepError(summary, std::move(outcome.failures));
+        }
         std::vector<R> results;
-        results.reserve(slots.size());
-        for (auto &slot : slots)
+        results.reserve(outcome.results.size());
+        for (auto &slot : outcome.results)
             results.push_back(std::move(*slot));
         return results;
     }

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 
+#include "util/error.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
 namespace fvc::harness {
 
 void
@@ -22,6 +26,29 @@ void
 section(const std::string &text)
 {
     std::printf("\n--- %s ---\n", text.c_str());
+}
+
+void
+reportSweepFailures(const std::vector<JobFailure> &failures,
+                    size_t total_jobs, const std::string &what)
+{
+    if (util::strictMode()) {
+        fvc_fatal("FVC_STRICT=1: ",
+                  summarizeFailures(failures, total_jobs), " [",
+                  what, "]");
+    }
+    section("FAILED sweep jobs — " + what +
+            " (degraded output; set FVC_STRICT=1 to fail fast)");
+    util::Table table({"job", "attempts", "timed out", "error"});
+    table.alignRight(0);
+    table.alignRight(1);
+    for (const auto &failure : failures) {
+        table.addRow({"#" + std::to_string(failure.index),
+                      std::to_string(failure.attempts),
+                      failure.timed_out ? "yes" : "no",
+                      failure.message});
+    }
+    std::printf("%s", table.render().c_str());
 }
 
 } // namespace fvc::harness

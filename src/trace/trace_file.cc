@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "util/bitops.hh"
 #include "util/logging.hh"
 
 namespace fvc::trace {
@@ -53,15 +54,29 @@ encodeRecord(const MemRecord &rec, uint8_t *out)
     put64(out + 9, rec.icount);
 }
 
-MemRecord
-decodeRecord(const uint8_t *in)
+util::Expected<MemRecord>
+decodeRecordChecked(const uint8_t *in)
 {
+    if (!validOpByte(in[0])) {
+        return util::Error{util::ErrorCode::Corrupt,
+                           "invalid op byte " +
+                               std::to_string(unsigned(in[0])),
+                           ""};
+    }
     MemRecord rec;
     rec.op = static_cast<Op>(in[0]);
     rec.addr = get32(in + 1);
     rec.value = get32(in + 5);
     rec.icount = get64(in + 9);
     return rec;
+}
+
+MemRecord
+decodeRecord(const uint8_t *in)
+{
+    auto rec = decodeRecordChecked(in);
+    fvc_assert(rec.ok(), "decodeRecord: ", rec.error().describe());
+    return rec.value();
 }
 
 TraceWriter::TraceWriter(const std::string &path,
@@ -103,6 +118,13 @@ TraceWriter::flushBuffer()
 {
     if (buffer_.empty())
         return;
+    uint8_t frame[kChunkFrameBytes];
+    put32(frame, static_cast<uint32_t>(buffer_.size()));
+    put32(frame + 4, util::crc32(buffer_.data(), buffer_.size()));
+    if (std::fwrite(frame, 1, sizeof(frame), file_) !=
+        sizeof(frame)) {
+        fvc_fatal("short write to trace file: ", path_);
+    }
     if (std::fwrite(buffer_.data(), 1, buffer_.size(), file_) !=
         buffer_.size()) {
         fvc_fatal("short write to trace file: ", path_);
@@ -125,19 +147,53 @@ TraceWriter::close()
     file_ = nullptr;
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : file_(std::fopen(path.c_str(), "rb"))
+std::optional<util::Error>
+TraceReader::init(const std::string &path)
 {
-    if (!file_)
-        fvc_fatal("cannot open trace file for reading: ", path);
-    if (std::fread(&header_, sizeof(header_), 1, file_) != 1)
-        fvc_fatal("cannot read trace header: ", path);
-    if (header_.magic != kTraceMagic)
-        fvc_fatal("bad trace magic in ", path);
-    if (header_.version != kTraceVersion)
-        fvc_fatal("unsupported trace version ", header_.version);
+    path_ = path;
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_) {
+        return util::Error{util::ErrorCode::Io,
+                           "cannot open trace file for reading",
+                           path};
+    }
+    if (std::fread(&header_, sizeof(header_), 1, file_) != 1) {
+        return util::Error{util::ErrorCode::Truncated,
+                           "cannot read trace header", path};
+    }
+    if (header_.magic != kTraceMagic) {
+        return util::Error{util::ErrorCode::Format,
+                           "bad trace magic", path};
+    }
+    if (header_.version == kTraceVersionLegacy) {
+        legacy_ = true;
+    } else if (header_.version != kTraceVersion) {
+        return util::Error{util::ErrorCode::Format,
+                           "unsupported trace version " +
+                               std::to_string(header_.version),
+                           path};
+    }
     remaining_ = header_.record_count;
-    buffer_.resize(kBufferRecords * kRecordBytes);
+    if (legacy_)
+        buffer_.resize(kBufferRecords * kRecordBytes);
+    return std::nullopt;
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    if (auto err = init(path))
+        fvc_fatal(err->message, err->context.empty() ? "" : " in ",
+                  err->context);
+}
+
+util::Expected<std::unique_ptr<TraceReader>>
+TraceReader::open(const std::string &path)
+{
+    // No make_unique: the integrity-checking ctor is private.
+    std::unique_ptr<TraceReader> reader(new TraceReader());
+    if (auto err = reader->init(path))
+        return *err;
+    return reader;
 }
 
 TraceReader::~TraceReader()
@@ -147,12 +203,65 @@ TraceReader::~TraceReader()
 }
 
 bool
-TraceReader::refill()
+TraceReader::fail(util::ErrorCode code, const std::string &message)
+{
+    error_ = util::Error{code, message, path_};
+    remaining_ = 0;
+    return false;
+}
+
+bool
+TraceReader::refillLegacy()
 {
     buf_len_ = std::fread(buffer_.data(), 1, buffer_.size(), file_);
-    buf_len_ -= buf_len_ % kRecordBytes;
+    if (buf_len_ % kRecordBytes != 0) {
+        return fail(util::ErrorCode::Truncated,
+                    "trace data is not a whole number of records");
+    }
     buf_pos_ = 0;
-    return buf_len_ > 0;
+    if (buf_len_ == 0) {
+        return fail(util::ErrorCode::Truncated,
+                    "trace ends " + std::to_string(remaining_) +
+                        " records early");
+    }
+    return true;
+}
+
+bool
+TraceReader::refill()
+{
+    if (legacy_)
+        return refillLegacy();
+
+    uint8_t frame[kChunkFrameBytes];
+    std::string chunk = "chunk " + std::to_string(chunk_index_);
+    if (std::fread(frame, 1, sizeof(frame), file_) != sizeof(frame)) {
+        return fail(util::ErrorCode::Truncated,
+                    "trace ends " + std::to_string(remaining_) +
+                        " records early (missing " + chunk + ")");
+    }
+    uint32_t payload_bytes = get32(frame);
+    uint32_t crc = get32(frame + 4);
+    if (payload_bytes == 0 || payload_bytes % kRecordBytes != 0 ||
+        payload_bytes > kMaxChunkBytes) {
+        return fail(util::ErrorCode::Corrupt,
+                    chunk + " has invalid payload length " +
+                        std::to_string(payload_bytes));
+    }
+    buffer_.resize(payload_bytes);
+    if (std::fread(buffer_.data(), 1, payload_bytes, file_) !=
+        payload_bytes) {
+        return fail(util::ErrorCode::Truncated,
+                    chunk + " payload is truncated");
+    }
+    if (util::crc32(buffer_.data(), payload_bytes) != crc) {
+        return fail(util::ErrorCode::Corrupt,
+                    chunk + " CRC mismatch (corrupted trace data)");
+    }
+    ++chunk_index_;
+    buf_pos_ = 0;
+    buf_len_ = payload_bytes;
+    return true;
 }
 
 bool
@@ -162,7 +271,10 @@ TraceReader::next(MemRecord &out)
         return false;
     if (buf_pos_ >= buf_len_ && !refill())
         return false;
-    out = decodeRecord(buffer_.data() + buf_pos_);
+    auto rec = decodeRecordChecked(buffer_.data() + buf_pos_);
+    if (!rec.ok())
+        return fail(rec.error().code, rec.error().message);
+    out = rec.value();
     buf_pos_ += kRecordBytes;
     --remaining_;
     return true;

@@ -2,10 +2,16 @@
  * @file
  * Binary trace file format, writer and reader.
  *
- * Layout: a fixed header (magic, version, record count, metadata)
- * followed by packed little-endian records. The format is
- * deliberately simple so external tools can parse it; buffered IO
- * keeps it fast enough to stream multi-million-record traces.
+ * Format v2 layout: a fixed header (magic, version, record count,
+ * metadata) followed by framed data chunks, each
+ *
+ *     u32 payload_bytes | u32 crc32(payload) | payload
+ *
+ * where the payload is a whole number of packed little-endian
+ * records. The per-chunk CRC means any single-bit corruption of the
+ * data is detected and reported as a structured util::Error instead
+ * of being silently decoded. Format v1 files (no chunk framing, no
+ * CRC) still load through a legacy fallback path.
  */
 
 #ifndef FVC_TRACE_TRACE_FILE_HH_
@@ -13,18 +19,23 @@
 
 #include <cstddef>
 #include <cstdio>
+#include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "trace/record.hh"
 #include "trace/source.hh"
+#include "util/error.hh"
 
 namespace fvc::trace {
 
 /** Magic bytes identifying a trace file ("FVCT"). */
 inline constexpr uint32_t kTraceMagic = 0x46564354;
-/** Current format version. */
-inline constexpr uint32_t kTraceVersion = 1;
+/** Current format version (chunked, CRC-protected). */
+inline constexpr uint32_t kTraceVersion = 2;
+/** The legacy unframed format, still readable. */
+inline constexpr uint32_t kTraceVersionLegacy = 1;
 
 /** Trace file header, stored verbatim at offset 0. */
 struct TraceHeader
@@ -41,7 +52,12 @@ struct TraceHeader
     char workload[32] = {};
 };
 
-/** Streaming writer for trace files. */
+/** Bytes framing each v2 data chunk (payload length + CRC32). */
+inline constexpr size_t kChunkFrameBytes = 8;
+/** Upper bound on a v2 chunk payload; larger lengths are corrupt. */
+inline constexpr size_t kMaxChunkBytes = 1u << 26;
+
+/** Streaming writer for trace files (always writes v2). */
 class TraceWriter
 {
   public:
@@ -76,39 +92,85 @@ class TraceWriter
     void flushBuffer();
 };
 
-/** Streaming reader; a TraceSource over a trace file. */
+/**
+ * Streaming reader; a TraceSource over a trace file. Reads the
+ * current chunked format and falls back to the legacy v1 layout.
+ *
+ * Integrity errors mid-stream (CRC mismatch, truncated chunk, bad
+ * op byte) make next() return false with error() set; callers that
+ * care about the distinction between EOF and corruption must check
+ * error() after the record loop.
+ */
 class TraceReader : public TraceSource
 {
   public:
-    /** Open @p path; fvc_fatal on missing file or bad magic. */
+    /** Open @p path; fvc_fatal on missing file or bad header. */
     explicit TraceReader(const std::string &path);
     ~TraceReader() override;
 
     TraceReader(const TraceReader &) = delete;
     TraceReader &operator=(const TraceReader &) = delete;
 
+    /**
+     * Open @p path, reporting header problems as a structured
+     * Error instead of exiting — the harness uses this to degrade
+     * around one bad trace file.
+     */
+    static util::Expected<std::unique_ptr<TraceReader>> open(
+        const std::string &path);
+
     bool next(MemRecord &out) override;
 
     const TraceHeader &header() const { return header_; }
 
+    /** Set when next() stopped on corruption rather than EOF. */
+    const std::optional<util::Error> &error() const { return error_; }
+
   private:
-    std::FILE *file_;
+    TraceReader() = default;
+
+    std::FILE *file_ = nullptr;
+    std::string path_;
     TraceHeader header_;
-    uint64_t remaining_;
+    bool legacy_ = false;
+    uint64_t remaining_ = 0;
+    uint64_t chunk_index_ = 0;
+    std::optional<util::Error> error_;
     std::vector<uint8_t> buffer_;
     size_t buf_pos_ = 0;
     size_t buf_len_ = 0;
 
+    /** Open + header validation; shared by the ctor and open(). */
+    std::optional<util::Error> init(const std::string &path);
     bool refill();
+    bool refillLegacy();
+    bool fail(util::ErrorCode code, const std::string &message);
 };
 
 /** On-disk record size in bytes. */
 inline constexpr size_t kRecordBytes = 1 + 4 + 4 + 8;
 
+/** True iff @p op_byte names a valid Op. */
+constexpr bool
+validOpByte(uint8_t op_byte)
+{
+    return op_byte <= static_cast<uint8_t>(Op::Free);
+}
+
 /** Serialize a record into @p out (must have kRecordBytes room). */
 void encodeRecord(const MemRecord &rec, uint8_t *out);
 
-/** Deserialize a record from @p in. */
+/**
+ * Deserialize a record from @p in, rejecting out-of-range op bytes
+ * (casting an arbitrary byte into the Op enum would be silent
+ * garbage).
+ */
+util::Expected<MemRecord> decodeRecordChecked(const uint8_t *in);
+
+/**
+ * Deserialize a record from @p in; fvc_panic on an invalid op byte.
+ * Use decodeRecordChecked() for untrusted input.
+ */
 MemRecord decodeRecord(const uint8_t *in);
 
 } // namespace fvc::trace

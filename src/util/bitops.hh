@@ -7,6 +7,7 @@
 #define FVC_UTIL_BITOPS_HH_
 
 #include <bit>
+#include <cstddef>
 #include <cstdint>
 
 #include "util/logging.hh"
@@ -67,6 +68,32 @@ constexpr uint64_t
 divCeil(uint64_t a, uint64_t b)
 {
     return (a + b - 1) / b;
+}
+
+/**
+ * CRC-32 (IEEE 802.3, polynomial 0xEDB88320) over @p len bytes.
+ * Pass a previous return value as @p crc to checksum incrementally.
+ * Used by the trace-file chunk framing; any single-bit corruption
+ * of a checksummed chunk is guaranteed to be detected.
+ */
+inline uint32_t
+crc32(const void *data, size_t len, uint32_t crc = 0)
+{
+    static const auto table = [] {
+        struct { uint32_t entry[256]; } t{};
+        for (uint32_t i = 0; i < 256; ++i) {
+            uint32_t c = i;
+            for (int k = 0; k < 8; ++k)
+                c = (c >> 1) ^ ((c & 1) ? 0xedb88320u : 0u);
+            t.entry[i] = c;
+        }
+        return t;
+    }();
+    const auto *p = static_cast<const uint8_t *>(data);
+    crc = ~crc;
+    for (size_t i = 0; i < len; ++i)
+        crc = table.entry[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+    return ~crc;
 }
 
 } // namespace fvc::util

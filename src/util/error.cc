@@ -1,0 +1,46 @@
+#include "util/error.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace fvc::util {
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Io:
+        return "io";
+      case ErrorCode::Corrupt:
+        return "corrupt";
+      case ErrorCode::Format:
+        return "format";
+      case ErrorCode::Truncated:
+        return "truncated";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Invalid:
+        return "invalid";
+    }
+    return "?";
+}
+
+std::string
+Error::describe() const
+{
+    std::string out = errorCodeName(code);
+    out += ": ";
+    out += message;
+    if (!context.empty())
+        out += " [" + context + "]";
+    return out;
+}
+
+bool
+strictMode()
+{
+    const char *env = std::getenv("FVC_STRICT");
+    return env && *env && std::strcmp(env, "0") != 0;
+}
+
+} // namespace fvc::util

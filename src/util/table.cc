@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <fstream>
 
+#include "util/error.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -133,12 +134,32 @@ Table::exportCsv(const std::string &name) const
     if (!dir || !*dir)
         return false;
     std::string path = std::string(dir) + "/" + name + ".csv";
+    // Losing requested output silently is worse than dying: name
+    // the env var and the likely cause, and in strict mode make it
+    // a nonzero exit.
     std::ofstream out(path);
     if (!out) {
-        fvc_warn("cannot write CSV to ", path);
+        if (strictMode()) {
+            fvc_fatal("FVC_CSV_DIR=", dir, ": cannot open ", path,
+                      " for writing (missing or unwritable "
+                      "directory?)");
+        }
+        fvc_warn("FVC_CSV_DIR=", dir, ": cannot open ", path,
+                 " for writing (missing or unwritable "
+                 "directory?); CSV output dropped");
         return false;
     }
     out << renderCsv();
+    out.flush();
+    if (!out) {
+        if (strictMode()) {
+            fvc_fatal("FVC_CSV_DIR=", dir, ": short write to ",
+                      path);
+        }
+        fvc_warn("FVC_CSV_DIR=", dir, ": short write to ", path,
+                 "; CSV output incomplete");
+        return false;
+    }
     return true;
 }
 

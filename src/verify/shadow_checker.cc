@@ -1,0 +1,161 @@
+#include "verify/shadow_checker.hh"
+
+#include "util/strings.hh"
+
+namespace fvc::verify {
+
+std::string
+ShadowReport::summary() const
+{
+    if (passed()) {
+        return "shadow check passed (" +
+               std::to_string(accesses_checked) + " accesses)";
+    }
+    return "shadow check FAILED: " +
+           std::to_string(load_divergences) + " load, " +
+           std::to_string(trace_divergences) + " trace, " +
+           std::to_string(encoding_failures) + " encoding, " +
+           std::to_string(image_divergences) +
+           " image divergence(s) over " +
+           std::to_string(accesses_checked) + " accesses";
+}
+
+ShadowChecker::ShadowChecker(Options options) : options_(options) {}
+
+void
+ShadowChecker::diverge(uint64_t &counter, const std::string &message)
+{
+    ++counter;
+    if (report_.messages.size() < options_.max_messages)
+        report_.messages.push_back(message);
+}
+
+void
+ShadowChecker::begin(const memmodel::FunctionalMemory &initial_image)
+{
+    shadow_ = initial_image;
+    report_ = ShadowReport{};
+}
+
+void
+ShadowChecker::observe(const trace::MemRecord &rec,
+                       const cache::AccessResult &result)
+{
+    switch (rec.op) {
+      case trace::Op::Alloc:
+        shadow_.allocRegion(rec.addr, rec.value);
+        return;
+      case trace::Op::Free:
+        shadow_.freeRegion(rec.addr, rec.value);
+        return;
+      case trace::Op::Load: {
+        ++report_.accesses_checked;
+        trace::Word truth = shadow_.readReferenced(rec.addr);
+        if (options_.check_trace_consistency && rec.value != truth) {
+            diverge(report_.trace_divergences,
+                    "access " +
+                        std::to_string(report_.accesses_checked) +
+                        ": traced load value 0x" +
+                        util::hex32(rec.value) + " at 0x" +
+                        util::hex32(rec.addr) +
+                        " != shadow value 0x" + util::hex32(truth));
+        }
+        if (result.loaded != truth) {
+            diverge(report_.load_divergences,
+                    "access " +
+                        std::to_string(report_.accesses_checked) +
+                        ": system loaded 0x" +
+                        util::hex32(result.loaded) + " at 0x" +
+                        util::hex32(rec.addr) +
+                        " != shadow value 0x" + util::hex32(truth));
+        }
+        return;
+      }
+      case trace::Op::Store:
+        ++report_.accesses_checked;
+        shadow_.write(rec.addr, rec.value);
+        return;
+    }
+}
+
+void
+ShadowChecker::checkEncoding(
+    const core::FrequentValueEncoding &encoding)
+{
+    const auto &values = encoding.values();
+    for (size_t i = 0; i < values.size(); ++i) {
+        core::Code code = encoding.encode(values[i]);
+        auto back = encoding.decode(code);
+        if (code != i || !back || *back != values[i]) {
+            diverge(report_.encoding_failures,
+                    "encoding round-trip failed for value 0x" +
+                        util::hex32(values[i]) + " (code " +
+                        std::to_string(unsigned(code)) + ")");
+        }
+    }
+    // The non-frequent code must never decode to a value.
+    if (encoding.decode(encoding.nonFrequentCode())) {
+        diverge(report_.encoding_failures,
+                "non-frequent code decoded to a value");
+    }
+}
+
+void
+ShadowChecker::finish(const memmodel::FunctionalMemory &system_image)
+{
+    // Value comparison in both directions via read() (a word absent
+    // from one image reads as 0 there): referenced-bit asymmetry is
+    // expected — the shadow marks loads referenced, the system
+    // image only sees writes — so isInteresting() sets differ
+    // legitimately while values must not.
+    shadow_.forEachInteresting([&](trace::Addr addr,
+                                   trace::Word value) {
+        trace::Word got = system_image.read(addr);
+        if (got != value) {
+            diverge(report_.image_divergences,
+                    "final image word 0x" + util::hex32(addr) +
+                        " is 0x" + util::hex32(got) +
+                        ", shadow has 0x" + util::hex32(value));
+        }
+    });
+    system_image.forEachInteresting([&](trace::Addr addr,
+                                        trace::Word value) {
+        trace::Word want = shadow_.read(addr);
+        if (value != want) {
+            diverge(report_.image_divergences,
+                    "final image word 0x" + util::hex32(addr) +
+                        " is 0x" + util::hex32(value) +
+                        ", shadow has 0x" + util::hex32(want));
+        }
+    });
+}
+
+ShadowReport
+ShadowChecker::checkReplay(
+    const std::vector<trace::MemRecord> &records,
+    const memmodel::FunctionalMemory &initial_image,
+    cache::CacheSystem &system, const Hook &hook)
+{
+    begin(initial_image);
+    initial_image.forEachInteresting(
+        [&](trace::Addr addr, trace::Word value) {
+            system.memoryImage().write(addr, value);
+        });
+    uint64_t index = 0;
+    for (const auto &rec : records) {
+        if (hook)
+            hook(index, system);
+        ++index;
+        if (rec.isAccess()) {
+            cache::AccessResult result = system.access(rec);
+            observe(rec, result);
+        } else {
+            observe(rec, cache::AccessResult{});
+        }
+    }
+    system.flush();
+    finish(system.memoryImage());
+    return report_;
+}
+
+} // namespace fvc::verify

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * ShadowChecker: cross-checks a cache-system replay against a
+ * functional shadow execution.
+ *
+ * A cache simulator can be subtly wrong in ways no miss-rate test
+ * catches: a merge path that loses a dirty word, an encoding that
+ * decodes to the wrong value, a writeback to the wrong address all
+ * leave plausible-looking statistics. The checker replays the same
+ * access stream into a plain FunctionalMemory (the shadow) and
+ * asserts, per access and at the end, that the system-visible
+ * values match ground truth:
+ *
+ *  - every load's observed value equals the shadow's word;
+ *  - the trace itself is self-consistent (a record's value matches
+ *    what the shadow holds — catches corrupted/mutated traces);
+ *  - the frequent-value encoding round-trips exactly;
+ *  - the post-flush memory image equals the shadow image.
+ *
+ * Divergence is reported, not fatal: the fault-injection tests
+ * *expect* failures, and the harness wants a summary it can print.
+ */
+
+#ifndef FVC_VERIFY_SHADOW_CHECKER_HH_
+#define FVC_VERIFY_SHADOW_CHECKER_HH_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cache/cache_system.hh"
+#include "core/encoding.hh"
+#include "memmodel/functional_memory.hh"
+#include "trace/record.hh"
+
+namespace fvc::verify {
+
+/** Outcome of a shadow cross-check. */
+struct ShadowReport
+{
+    uint64_t accesses_checked = 0;
+    /** Loads whose system-observed value != shadow value. */
+    uint64_t load_divergences = 0;
+    /** Records whose traced value != shadow value (bad trace). */
+    uint64_t trace_divergences = 0;
+    /** encode/decode pairs that failed to round-trip. */
+    uint64_t encoding_failures = 0;
+    /** Post-flush image word mismatches against the shadow. */
+    uint64_t image_divergences = 0;
+    /** First few divergences, human-readable. */
+    std::vector<std::string> messages;
+
+    bool
+    passed() const
+    {
+        return load_divergences == 0 && trace_divergences == 0 &&
+               encoding_failures == 0 && image_divergences == 0;
+    }
+
+    /** One line: pass/fail plus the failure counters. */
+    std::string summary() const;
+};
+
+/** Streaming cross-checker; see file comment. */
+class ShadowChecker
+{
+  public:
+    struct Options
+    {
+        /** Cap on recorded divergence messages. */
+        size_t max_messages = 8;
+        /**
+         * Also check each record's traced value against the shadow
+         * (off for access streams whose values are intentionally
+         * mutated, e.g. fault-injected traces where only the
+         * system-vs-shadow comparison is meaningful).
+         */
+        bool check_trace_consistency = true;
+    };
+
+    ShadowChecker() : ShadowChecker(Options()) {}
+    explicit ShadowChecker(Options options);
+
+    /** Reset and seed the shadow with the trace's preload image. */
+    void begin(const memmodel::FunctionalMemory &initial_image);
+
+    /** Feed one record and the system's result for it. */
+    void observe(const trace::MemRecord &rec,
+                 const cache::AccessResult &result);
+
+    /** Verify the encoding round-trips (code -> value -> code). */
+    void checkEncoding(const core::FrequentValueEncoding &encoding);
+
+    /** Compare the system's post-flush image with the shadow. */
+    void finish(const memmodel::FunctionalMemory &system_image);
+
+    const ShadowReport &report() const { return report_; }
+
+    /**
+     * Hook called before each access during checkReplay(), with the
+     * access index; fault-injection tests use it to corrupt state
+     * mid-replay.
+     */
+    using Hook =
+        std::function<void(uint64_t, cache::CacheSystem &)>;
+
+    /**
+     * Convenience: full begin/observe/finish replay of @p records
+     * through @p system (which must be freshly constructed).
+     */
+    ShadowReport checkReplay(
+        const std::vector<trace::MemRecord> &records,
+        const memmodel::FunctionalMemory &initial_image,
+        cache::CacheSystem &system, const Hook &hook = {});
+
+  private:
+    Options options_;
+    memmodel::FunctionalMemory shadow_;
+    ShadowReport report_;
+
+    void diverge(uint64_t &counter, const std::string &message);
+};
+
+} // namespace fvc::verify
+
+#endif // FVC_VERIFY_SHADOW_CHECKER_HH_

@@ -8,14 +8,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "cache/cache_system.hh"
 #include "harness/parallel.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "util/error.hh"
 
 namespace fh = fvc::harness;
 namespace fw = fvc::workload;
@@ -148,7 +152,7 @@ TEST(SweepRunnerTest, ReusableAfterRun)
     EXPECT_EQ(sweep.run(), (std::vector<int>{2, 3}));
 }
 
-TEST(SweepRunnerTest, RethrowsFirstExceptionByIndex)
+TEST(SweepRunnerTest, RunReportsAllFailuresIndexed)
 {
     fh::ThreadPool pool(4);
     fh::SweepRunner<int> sweep(pool);
@@ -162,10 +166,126 @@ TEST(SweepRunnerTest, RethrowsFirstExceptionByIndex)
     });
     try {
         sweep.run();
-        FAIL() << "expected an exception";
-    } catch (const std::runtime_error &e) {
-        EXPECT_STREQ(e.what(), "job 1 failed");
+        FAIL() << "expected a SweepError";
+    } catch (const fh::SweepError &e) {
+        // Every failure is in the summary, by submission index,
+        // not just the first one.
+        ASSERT_EQ(e.failures().size(), 2u);
+        EXPECT_EQ(e.failures()[0].index, 1u);
+        EXPECT_EQ(e.failures()[1].index, 2u);
+        std::string what = e.what();
+        EXPECT_NE(what.find("2/3"), std::string::npos) << what;
+        EXPECT_NE(what.find("job 1 failed"), std::string::npos);
+        EXPECT_NE(what.find("job 2 failed"), std::string::npos);
     }
+}
+
+TEST(SweepRunnerTest, RunCheckedReturnsPartialResults)
+{
+    fh::ThreadPool pool(4);
+    fh::SweepRunner<int> sweep(pool);
+    for (int i = 0; i < 4; ++i) {
+        sweep.submit([i]() -> int {
+            if (i == 2)
+                throw std::runtime_error("cell exploded");
+            return i * 10;
+        });
+    }
+    auto outcome = sweep.runChecked();
+    EXPECT_FALSE(outcome.ok());
+    ASSERT_EQ(outcome.results.size(), 4u);
+    EXPECT_EQ(outcome.results[0], 0);
+    EXPECT_EQ(outcome.results[1], 10);
+    EXPECT_FALSE(outcome.results[2].has_value());
+    EXPECT_EQ(outcome.results[3], 30);
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 2u);
+    // A non-transient failure never retries.
+    EXPECT_EQ(outcome.failures[0].attempts, 1u);
+    EXPECT_FALSE(outcome.failures[0].timed_out);
+    EXPECT_NE(outcome.failures[0].message.find("cell exploded"),
+              std::string::npos);
+}
+
+TEST(SweepRunnerTest, TransientErrorsRetryUntilSuccess)
+{
+    setenv("FVC_RETRIES", "2", 1);
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    auto flaky = std::make_shared<std::atomic<int>>(0);
+    sweep.submit([flaky]() -> int {
+        if (flaky->fetch_add(1) < 2)
+            throw fvc::util::TransientError("spurious failure");
+        return 99;
+    });
+    auto outcome = sweep.runChecked();
+    EXPECT_TRUE(outcome.ok());
+    ASSERT_TRUE(outcome.results[0].has_value());
+    EXPECT_EQ(*outcome.results[0], 99);
+    EXPECT_EQ(flaky->load(), 3);
+    unsetenv("FVC_RETRIES");
+}
+
+TEST(SweepRunnerTest, TransientErrorsExhaustRetries)
+{
+    setenv("FVC_RETRIES", "2", 1);
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    auto calls = std::make_shared<std::atomic<int>>(0);
+    sweep.submit([calls]() -> int {
+        calls->fetch_add(1);
+        throw fvc::util::TransientError("always transient");
+    });
+    auto outcome = sweep.runChecked();
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    // 1 initial attempt + FVC_RETRIES extra ones.
+    EXPECT_EQ(outcome.failures[0].attempts, 3u);
+    EXPECT_EQ(calls->load(), 3);
+    unsetenv("FVC_RETRIES");
+}
+
+TEST(SweepRunnerTest, WatchdogDiscardsTimedOutResults)
+{
+    setenv("FVC_JOB_TIMEOUT_MS", "50", 1);
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    sweep.submit([] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        return 1;
+    });
+    sweep.submit([] { return 2; });
+    auto outcome = sweep.runChecked();
+    unsetenv("FVC_JOB_TIMEOUT_MS");
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 0u);
+    EXPECT_TRUE(outcome.failures[0].timed_out);
+    EXPECT_FALSE(outcome.results[0].has_value());
+    ASSERT_TRUE(outcome.results[1].has_value());
+    EXPECT_EQ(*outcome.results[1], 2);
+}
+
+TEST(SweepRunnerTest, FaultSpecFailsTheNamedGlobalJob)
+{
+    // Sample the process-wide submission counter (consumes one
+    // index), then aim the injector two jobs ahead.
+    size_t current = fh::detail::nextGlobalSweepIndex();
+    std::string spec =
+        "sweep_job=" + std::to_string(current + 2);
+    setenv("FVC_FAULT_SPEC", spec.c_str(), 1);
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    for (int i = 0; i < 4; ++i)
+        sweep.submit([i] { return i; });
+    auto outcome = sweep.runChecked();
+    unsetenv("FVC_FAULT_SPEC");
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 1u);
+    EXPECT_NE(outcome.failures[0].message.find("fault injector"),
+              std::string::npos);
+    EXPECT_FALSE(outcome.results[1].has_value());
+    EXPECT_EQ(outcome.results[0], 0);
+    EXPECT_EQ(outcome.results[2], 2);
+    EXPECT_EQ(outcome.results[3], 3);
 }
 
 TEST(SweepRunnerTest, SerialAndParallelBitIdentical)

@@ -1,0 +1,595 @@
+/**
+ * @file
+ * Tests for the verification subsystem: FaultSpec parsing, seeded
+ * fault-injection determinism, trace-file CRC integrity (every
+ * single-bit corruption must be detected), the legacy-format
+ * fallback, and the shadow-model cross-checker — both that it
+ * passes on correct systems and that it fails loudly when the
+ * injector breaks them.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/dmc_fvc_system.hh"
+#include "harness/runner.hh"
+#include "trace/trace_file.hh"
+#include "util/error.hh"
+#include "verify/fault_injector.hh"
+#include "verify/shadow_checker.hh"
+#include "workload/generator.hh"
+
+namespace fv = fvc::verify;
+namespace ft = fvc::trace;
+namespace fu = fvc::util;
+namespace fh = fvc::harness;
+namespace fw = fvc::workload;
+namespace fc = fvc::cache;
+namespace co = fvc::core;
+namespace fm = fvc::memmodel;
+
+namespace {
+
+std::string
+tempPath(const char *name)
+{
+    return std::string(::testing::TempDir()) + name;
+}
+
+std::vector<ft::MemRecord>
+loadTestRecords(uint32_t n, uint64_t seed = 0)
+{
+    std::vector<ft::MemRecord> recs;
+    recs.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+        recs.push_back({(i + seed) % 3 == 0 ? ft::Op::Store
+                                            : ft::Op::Load,
+                        (i % 64) * 4, i * 7 + uint32_t(seed), i});
+    }
+    return recs;
+}
+
+std::vector<uint8_t>
+readAll(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                                std::istreambuf_iterator<char>());
+}
+
+void
+writeAll(const std::string &path, const std::vector<uint8_t> &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char *>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+/** A fig-shaped DMC+FVC system for a prepared trace. */
+std::unique_ptr<co::DmcFvcSystem>
+makeSystem(const fh::PreparedTrace &trace)
+{
+    fc::CacheConfig dmc;
+    dmc.size_bytes = 4 * 1024;
+    dmc.line_bytes = 32;
+    co::FvcConfig fvc;
+    fvc.entries = 128;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    return std::make_unique<co::DmcFvcSystem>(
+        dmc, fvc,
+        co::FrequentValueEncoding(trace.frequent_values, 3));
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// FaultSpec parsing
+// ---------------------------------------------------------------
+
+TEST(FaultSpecTest, ParsesFullSpec)
+{
+    auto spec = fv::FaultSpec::parse(
+        "seed=42,rate=0.25,kinds=value|op|drop,sweep_job=5");
+    ASSERT_TRUE(spec.ok()) << spec.error().describe();
+    EXPECT_EQ(spec.value().seed, 42u);
+    EXPECT_DOUBLE_EQ(spec.value().rate, 0.25);
+    EXPECT_EQ(spec.value().kinds,
+              fv::kFaultValueFlip | fv::kFaultOpMutate |
+                  fv::kFaultDrop);
+    ASSERT_TRUE(spec.value().sweep_job.has_value());
+    EXPECT_EQ(*spec.value().sweep_job, 5u);
+}
+
+TEST(FaultSpecTest, EmptySpecIsDefaults)
+{
+    auto spec = fv::FaultSpec::parse("");
+    ASSERT_TRUE(spec.ok());
+    EXPECT_EQ(spec.value().seed, 1u);
+    EXPECT_DOUBLE_EQ(spec.value().rate, 0.0);
+    EXPECT_EQ(spec.value().kinds, fv::kFaultAllRecord);
+    EXPECT_FALSE(spec.value().sweep_job.has_value());
+}
+
+TEST(FaultSpecTest, KindsAllAndSingles)
+{
+    auto all = fv::FaultSpec::parse("kinds=all");
+    ASSERT_TRUE(all.ok());
+    EXPECT_EQ(all.value().kinds, fv::kFaultAllRecord);
+    auto dup = fv::FaultSpec::parse("kinds=dup");
+    ASSERT_TRUE(dup.ok());
+    EXPECT_EQ(dup.value().kinds, fv::kFaultDuplicate);
+    auto addr = fv::FaultSpec::parse("kinds=addr");
+    ASSERT_TRUE(addr.ok());
+    EXPECT_EQ(addr.value().kinds, fv::kFaultAddrFlip);
+}
+
+TEST(FaultSpecTest, RejectsMalformedSpecs)
+{
+    // Unknown keys, bad numbers, and out-of-range rates are Format
+    // errors, never silently ignored.
+    for (const char *bad :
+         {"bogus=1", "seed=abc", "rate=2.0", "rate=-1", "rate=x",
+          "kinds=valu", "sweep_job=nope", "seed", "=5"}) {
+        auto spec = fv::FaultSpec::parse(bad);
+        EXPECT_FALSE(spec.ok()) << "accepted: " << bad;
+        if (!spec.ok())
+            EXPECT_EQ(spec.error().code, fu::ErrorCode::Format);
+    }
+}
+
+TEST(FaultSpecTest, DescribeRoundTripsThroughParse)
+{
+    auto spec = fv::FaultSpec::parse("seed=7,rate=0.5,kinds=value");
+    ASSERT_TRUE(spec.ok());
+    auto again = fv::FaultSpec::parse(spec.value().describe());
+    ASSERT_TRUE(again.ok()) << spec.value().describe();
+    EXPECT_EQ(again.value().seed, 7u);
+    EXPECT_EQ(again.value().kinds, unsigned(fv::kFaultValueFlip));
+}
+
+// ---------------------------------------------------------------
+// FaultInjector determinism
+// ---------------------------------------------------------------
+
+TEST(FaultInjectorTest, SameSeedSameFaults)
+{
+    auto spec = fv::FaultSpec::parse("seed=11,rate=0.1").value();
+    auto a = loadTestRecords(500);
+    auto b = loadTestRecords(500);
+    uint64_t fa = fv::FaultInjector(spec).mutateRecords(a);
+    uint64_t fb = fv::FaultInjector(spec).mutateRecords(b);
+    EXPECT_EQ(fa, fb);
+    EXPECT_GT(fa, 0u);
+    EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge)
+{
+    auto s1 = fv::FaultSpec::parse("seed=1,rate=0.1").value();
+    auto s2 = fv::FaultSpec::parse("seed=2,rate=0.1").value();
+    auto a = loadTestRecords(500);
+    auto b = loadTestRecords(500);
+    fv::FaultInjector(s1).mutateRecords(a);
+    fv::FaultInjector(s2).mutateRecords(b);
+    EXPECT_NE(a, b);
+}
+
+TEST(FaultInjectorTest, ZeroRateIsIdentityOnRecords)
+{
+    auto spec = fv::FaultSpec::parse("seed=3,rate=0").value();
+    auto recs = loadTestRecords(100);
+    auto orig = recs;
+    EXPECT_EQ(fv::FaultInjector(spec).mutateRecords(recs), 0u);
+    EXPECT_EQ(recs, orig);
+}
+
+TEST(FaultInjectorTest, DropKindShrinksTheTrace)
+{
+    auto spec =
+        fv::FaultSpec::parse("seed=5,rate=1.0,kinds=drop").value();
+    auto recs = loadTestRecords(100);
+    fv::FaultInjector(spec).mutateRecords(recs);
+    EXPECT_TRUE(recs.empty());
+}
+
+TEST(FaultInjectorTest, DuplicateKindGrowsTheTrace)
+{
+    auto spec =
+        fv::FaultSpec::parse("seed=5,rate=1.0,kinds=dup").value();
+    auto recs = loadTestRecords(100);
+    fv::FaultInjector(spec).mutateRecords(recs);
+    EXPECT_EQ(recs.size(), 200u);
+}
+
+TEST(FaultInjectorTest, ValueFlipPreservesShape)
+{
+    auto spec =
+        fv::FaultSpec::parse("seed=5,rate=1.0,kinds=value").value();
+    auto recs = loadTestRecords(64);
+    auto orig = recs;
+    fv::FaultInjector(spec).mutateRecords(recs);
+    ASSERT_EQ(recs.size(), orig.size());
+    for (size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_EQ(recs[i].op, orig[i].op);
+        EXPECT_EQ(recs[i].addr, orig[i].addr);
+        EXPECT_NE(recs[i].value, orig[i].value);
+    }
+}
+
+TEST(FaultInjectorTest, CorruptBytesAlwaysFlipsSomething)
+{
+    auto spec = fv::FaultSpec::parse("seed=9,rate=0").value();
+    std::vector<uint8_t> data(256, 0xAB);
+    auto orig = data;
+    uint64_t flips =
+        fv::FaultInjector(spec).corruptBytes(data.data(),
+                                             data.size());
+    EXPECT_GE(flips, 1u);
+    EXPECT_NE(data, orig);
+}
+
+TEST(FaultInjectorTest, CorruptMemoryWordIsSeedDeterministic)
+{
+    auto spec = fv::FaultSpec::parse("seed=21").value();
+    fm::FunctionalMemory a, b;
+    for (uint32_t i = 0; i < 32; ++i) {
+        a.write(i * 4, i);
+        b.write(i * 4, i);
+    }
+    ASSERT_TRUE(fv::FaultInjector(spec).corruptMemoryWord(a));
+    ASSERT_TRUE(fv::FaultInjector(spec).corruptMemoryWord(b));
+    EXPECT_TRUE(fm::FunctionalMemory::sameInterestingContents(a, b));
+    // And the corruption really changed one word.
+    uint32_t diffs = 0;
+    for (uint32_t i = 0; i < 32; ++i) {
+        if (a.read(i * 4) != i)
+            ++diffs;
+    }
+    EXPECT_EQ(diffs, 1u);
+}
+
+TEST(FaultInjectorTest, CorruptMemoryWordNeedsInterestingWords)
+{
+    auto spec = fv::FaultSpec::parse("seed=21").value();
+    fm::FunctionalMemory empty;
+    EXPECT_FALSE(fv::FaultInjector(spec).corruptMemoryWord(empty));
+}
+
+// ---------------------------------------------------------------
+// Trace-file integrity (CRC) and legacy fallback
+// ---------------------------------------------------------------
+
+TEST(TraceIntegrityTest, EverySingleBitFlipIsDetected)
+{
+    // The acceptance gate of the integrity layer: flip every bit of
+    // the file body (frame + payload) one at a time; each corrupted
+    // copy must surface a structured error, never silently decode.
+    std::string path = tempPath("crc_base.fvct");
+    {
+        ft::TraceWriter writer(path, "crc-test", 1);
+        for (const auto &rec : loadTestRecords(64))
+            writer.append(rec);
+    }
+    std::vector<uint8_t> base = readAll(path);
+    ASSERT_EQ(base.size(), sizeof(ft::TraceHeader) +
+                               ft::kChunkFrameBytes +
+                               64 * ft::kRecordBytes);
+
+    std::string mutant = tempPath("crc_mutant.fvct");
+    for (size_t bit = sizeof(ft::TraceHeader) * 8;
+         bit < base.size() * 8; ++bit) {
+        std::vector<uint8_t> copy = base;
+        copy[bit / 8] ^= uint8_t(1u << (bit % 8));
+        writeAll(mutant, copy);
+
+        auto reader = ft::TraceReader::open(mutant);
+        ASSERT_TRUE(reader.ok()) << "bit " << bit;
+        ft::MemRecord rec;
+        while (reader.value()->next(rec)) {
+        }
+        ASSERT_TRUE(reader.value()->error().has_value())
+            << "silently decoded with bit " << bit << " flipped";
+        auto code = reader.value()->error()->code;
+        EXPECT_TRUE(code == fu::ErrorCode::Corrupt ||
+                    code == fu::ErrorCode::Truncated)
+            << "bit " << bit;
+    }
+    std::remove(path.c_str());
+    std::remove(mutant.c_str());
+}
+
+TEST(TraceIntegrityTest, CorruptFileHelperTripsTheReader)
+{
+    std::string path = tempPath("corrupt_helper.fvct");
+    {
+        ft::TraceWriter writer(path);
+        for (const auto &rec : loadTestRecords(128))
+            writer.append(rec);
+    }
+    auto spec = fv::FaultSpec::parse("seed=17,rate=0.001").value();
+    auto flips = fv::FaultInjector(spec).corruptFile(
+        path, sizeof(ft::TraceHeader));
+    ASSERT_TRUE(flips.ok()) << flips.error().describe();
+    EXPECT_GE(flips.value(), 1u);
+
+    auto reader = ft::TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    ft::MemRecord rec;
+    while (reader.value()->next(rec)) {
+    }
+    EXPECT_TRUE(reader.value()->error().has_value());
+    std::remove(path.c_str());
+}
+
+TEST(TraceIntegrityTest, OpenReportsMissingFileAsError)
+{
+    auto reader = ft::TraceReader::open(tempPath("nonexistent.fvct"));
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.error().code, fu::ErrorCode::Io);
+}
+
+TEST(TraceIntegrityTest, OpenReportsBadMagicAsError)
+{
+    std::string path = tempPath("bad_magic.fvct");
+    writeAll(path, std::vector<uint8_t>(sizeof(ft::TraceHeader), 0));
+    auto reader = ft::TraceReader::open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.error().code, fu::ErrorCode::Format);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIntegrityTest, OpenReportsUnsupportedVersionAsError)
+{
+    std::string path = tempPath("bad_version.fvct");
+    ft::TraceHeader header;
+    header.version = 99;
+    std::vector<uint8_t> bytes(sizeof(header));
+    std::memcpy(bytes.data(), &header, sizeof(header));
+    writeAll(path, bytes);
+    auto reader = ft::TraceReader::open(path);
+    ASSERT_FALSE(reader.ok());
+    EXPECT_EQ(reader.error().code, fu::ErrorCode::Format);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIntegrityTest, LegacyV1FilesLoadThroughFallback)
+{
+    // A v1 file is the same header followed by raw, unframed
+    // records — what the previous format wrote. It must still load.
+    std::string path = tempPath("legacy_v1.fvct");
+    auto records = loadTestRecords(100);
+    ft::TraceHeader header;
+    header.version = ft::kTraceVersionLegacy;
+    header.record_count = records.size();
+    std::vector<uint8_t> bytes(sizeof(header) +
+                               records.size() * ft::kRecordBytes);
+    std::memcpy(bytes.data(), &header, sizeof(header));
+    for (size_t i = 0; i < records.size(); ++i) {
+        ft::encodeRecord(records[i], bytes.data() + sizeof(header) +
+                                         i * ft::kRecordBytes);
+    }
+    writeAll(path, bytes);
+
+    auto reader = ft::TraceReader::open(path);
+    ASSERT_TRUE(reader.ok()) << reader.error().describe();
+    std::vector<ft::MemRecord> out;
+    ft::MemRecord rec;
+    while (reader.value()->next(rec))
+        out.push_back(rec);
+    EXPECT_FALSE(reader.value()->error().has_value());
+    EXPECT_EQ(out, records);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIntegrityTest, LegacyTruncationIsReported)
+{
+    std::string path = tempPath("legacy_short.fvct");
+    auto records = loadTestRecords(10);
+    ft::TraceHeader header;
+    header.version = ft::kTraceVersionLegacy;
+    header.record_count = records.size();
+    std::vector<uint8_t> bytes(sizeof(header) +
+                               records.size() * ft::kRecordBytes);
+    std::memcpy(bytes.data(), &header, sizeof(header));
+    for (size_t i = 0; i < records.size(); ++i) {
+        ft::encodeRecord(records[i], bytes.data() + sizeof(header) +
+                                         i * ft::kRecordBytes);
+    }
+    bytes.resize(bytes.size() - 5);
+    writeAll(path, bytes);
+
+    auto reader = ft::TraceReader::open(path);
+    ASSERT_TRUE(reader.ok());
+    ft::MemRecord rec;
+    while (reader.value()->next(rec)) {
+    }
+    ASSERT_TRUE(reader.value()->error().has_value());
+    EXPECT_EQ(reader.value()->error()->code,
+              fu::ErrorCode::Truncated);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIntegrityTest, DecodeRecordCheckedRejectsBadOpBytes)
+{
+    uint8_t buf[ft::kRecordBytes] = {};
+    for (unsigned op = 0; op < 256; ++op) {
+        buf[0] = uint8_t(op);
+        auto rec = ft::decodeRecordChecked(buf);
+        if (op <= unsigned(ft::Op::Free)) {
+            EXPECT_TRUE(rec.ok()) << "op " << op;
+        } else {
+            ASSERT_FALSE(rec.ok()) << "op " << op;
+            EXPECT_EQ(rec.error().code, fu::ErrorCode::Corrupt);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Shadow checker
+// ---------------------------------------------------------------
+
+TEST(ShadowCheckerTest, PassesOnEveryBenchmarkProfile)
+{
+    // The full-system gate: on every SPECint95 profile a DMC+FVC
+    // replay must agree with the functional shadow, access by
+    // access and in the final image.
+    for (fw::SpecInt bench : fw::allSpecInt()) {
+        auto profile = fw::specIntProfile(bench);
+        auto trace = fh::prepareTrace(profile, 20000, 7);
+        auto sys = makeSystem(trace);
+        fv::ShadowChecker checker;
+        auto report = checker.checkReplay(
+            trace.records, trace.initial_image, *sys);
+        checker.checkEncoding(
+            co::FrequentValueEncoding(trace.frequent_values, 3));
+        EXPECT_TRUE(report.passed())
+            << fw::specIntName(bench) << ": " << report.summary()
+            << (report.messages.empty() ? ""
+                                        : "\n  " + report.messages[0]);
+        EXPECT_GT(report.accesses_checked, 0u);
+    }
+}
+
+TEST(ShadowCheckerTest, CatchesInjectorCorruptedFvcState)
+{
+    auto profile = fw::specIntProfile(fw::SpecInt::Gcc126);
+    auto trace = fh::prepareTrace(profile, 20000, 7);
+    auto sys = makeSystem(trace);
+    auto spec = fv::FaultSpec::parse("seed=13").value();
+    fv::FaultInjector injector(spec);
+
+    uint64_t discarded = 0;
+    fv::ShadowChecker checker;
+    auto report = checker.checkReplay(
+        trace.records, trace.initial_image, *sys,
+        [&](uint64_t index, fc::CacheSystem &) {
+            if (index == trace.records.size() / 2)
+                discarded = injector.discardFvcState(*sys);
+        });
+    // Discarding dirty FVC entries mid-replay loses the newest
+    // values of frequent-coded words; the checker must notice.
+    ASSERT_GT(discarded, 0u)
+        << "fixture too small: no dirty FVC entries at midpoint";
+    EXPECT_FALSE(report.passed()) << report.summary();
+    EXPECT_GT(report.load_divergences + report.image_divergences, 0u);
+    EXPECT_FALSE(report.messages.empty());
+}
+
+TEST(ShadowCheckerTest, CatchesCorruptedMemoryImage)
+{
+    auto profile = fw::specIntProfile(fw::SpecInt::Compress129);
+    auto trace = fh::prepareTrace(profile, 15000, 7);
+    auto sys = makeSystem(trace);
+    auto spec = fv::FaultSpec::parse("seed=29").value();
+    fv::FaultInjector injector(spec);
+
+    fv::ShadowChecker checker;
+    auto report = checker.checkReplay(
+        trace.records, trace.initial_image, *sys,
+        [&](uint64_t index, fc::CacheSystem &system) {
+            // Flip bits in several backing-store words near the
+            // end, after most lines have been fetched; at least
+            // one lands in a word the trace still reads or the
+            // final image check covers.
+            if (index == (trace.records.size() * 3) / 4) {
+                for (int i = 0; i < 8; ++i)
+                    injector.corruptMemoryWord(system.memoryImage());
+            }
+        });
+    EXPECT_FALSE(report.passed()) << report.summary();
+}
+
+namespace {
+
+/** A deliberately broken system: drops every Nth store. */
+class DroppedStoreSystem final : public fc::CacheSystem
+{
+  public:
+    DroppedStoreSystem(std::unique_ptr<co::DmcFvcSystem> inner,
+                       uint64_t drop_every)
+        : inner_(std::move(inner)), drop_every_(drop_every)
+    {
+    }
+
+    fc::AccessResult
+    access(const ft::MemRecord &rec) override
+    {
+        if (rec.isStore() && ++stores_ % drop_every_ == 0)
+            return fc::AccessResult{};
+        return inner_->access(rec);
+    }
+
+    void flush() override { inner_->flush(); }
+    const fc::CacheStats &stats() const override
+    {
+        return inner_->stats();
+    }
+    std::string describe() const override
+    {
+        return "dropped-store(" + inner_->describe() + ")";
+    }
+    fvc::memmodel::FunctionalMemory &memoryImage() override
+    {
+        return inner_->memoryImage();
+    }
+
+  private:
+    std::unique_ptr<co::DmcFvcSystem> inner_;
+    uint64_t drop_every_;
+    uint64_t stores_ = 0;
+};
+
+} // namespace
+
+TEST(ShadowCheckerTest, CatchesBrokenStorePath)
+{
+    auto profile = fw::specIntProfile(fw::SpecInt::Li130);
+    auto trace = fh::prepareTrace(profile, 15000, 7);
+    DroppedStoreSystem sys(makeSystem(trace), 16);
+    fv::ShadowChecker checker;
+    auto report = checker.checkReplay(trace.records,
+                                      trace.initial_image, sys);
+    EXPECT_FALSE(report.passed()) << report.summary();
+    EXPECT_GT(report.load_divergences + report.image_divergences, 0u);
+}
+
+TEST(ShadowCheckerTest, FlagsMutatedTraceRecords)
+{
+    auto profile = fw::specIntProfile(fw::SpecInt::Go099);
+    auto trace = fh::prepareTrace(profile, 10000, 7);
+    auto spec =
+        fv::FaultSpec::parse("seed=31,rate=0.01,kinds=value")
+            .value();
+    auto mutated = trace.records;
+    ASSERT_GT(fv::FaultInjector(spec).mutateRecords(mutated), 0u);
+
+    auto sys = makeSystem(trace);
+    fv::ShadowChecker checker;
+    auto report = checker.checkReplay(mutated, trace.initial_image,
+                                      *sys);
+    EXPECT_GT(report.trace_divergences, 0u) << report.summary();
+}
+
+TEST(ShadowCheckerTest, EncodingRoundTripChecks)
+{
+    co::FrequentValueEncoding enc({0, 1, 0xffffffff, 7, 42}, 3);
+    fv::ShadowChecker checker;
+    checker.checkEncoding(enc);
+    EXPECT_EQ(checker.report().encoding_failures, 0u);
+}
+
+TEST(ShadowReportTest, SummaryStatesPassAndFailure)
+{
+    fv::ShadowReport report;
+    report.accesses_checked = 10;
+    EXPECT_NE(report.summary().find("passed"), std::string::npos);
+    report.load_divergences = 2;
+    EXPECT_FALSE(report.passed());
+    EXPECT_NE(report.summary().find("FAILED"), std::string::npos);
+}

@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON files for perf regressions.
+
+Usage:
+    bench/compare_bench.py BASELINE.json NEW.json [--threshold PCT]
+                           [--hot NAME ...]
+    bench/compare_bench.py --self-test
+
+Flags a named hot benchmark when its new cpu_time exceeds the
+baseline by more than --threshold percent (default 10), or when it
+disappeared from the new file entirely. Exits nonzero if anything is
+flagged, so it can gate CI or a pre-commit check:
+
+    bench/compare_bench.py BENCH_microbench.json /tmp/new.json
+
+Non-hot benchmarks are reported but never fail the run (short-lived
+probes are too noisy for a hard gate).
+"""
+
+import argparse
+import json
+import sys
+
+# The hot paths whose regressions block: the replay engines and the
+# encoders dominate every sweep bench's wall clock.
+DEFAULT_HOT = [
+    "BM_DmcSimulation",
+    "BM_DmcFvcSimulation",
+    "BM_Encoding",
+    "BM_FvcProbe",
+    "BM_GridSweepSinglePass",
+    "BM_BatchEncoding",
+]
+
+
+def load_times(path):
+    """Map benchmark name -> cpu_time from a google-benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        time = bench.get("cpu_time")
+        if name is not None and time is not None:
+            times[name] = float(time)
+    return times
+
+
+def compare(baseline, new, hot, threshold_pct):
+    """Return (report_lines, failures) for the two name->time maps."""
+    lines = []
+    failures = []
+    for name in sorted(set(baseline) | set(new)):
+        base = baseline.get(name)
+        cur = new.get(name)
+        is_hot = name in hot
+        if base is None:
+            lines.append(f"  NEW      {name}")
+            continue
+        if cur is None:
+            lines.append(f"  MISSING  {name}")
+            if is_hot:
+                failures.append(f"{name}: missing from new results")
+            continue
+        delta_pct = 100.0 * (cur - base) / base if base > 0 else 0.0
+        tag = "ok"
+        if delta_pct > threshold_pct:
+            tag = "REGRESSION" if is_hot else "slower"
+            if is_hot:
+                failures.append(
+                    f"{name}: {delta_pct:+.1f}% "
+                    f"(> {threshold_pct:.0f}% threshold)"
+                )
+        elif delta_pct < -threshold_pct:
+            tag = "faster"
+        lines.append(
+            f"  {tag:<10} {name}: {base:.1f} -> {cur:.1f} ns "
+            f"({delta_pct:+.1f}%)"
+        )
+    return lines, failures
+
+
+def self_test():
+    """Exercise the comparison logic on synthetic inputs."""
+    base = {"BM_DmcSimulation": 100.0, "BM_Encoding": 10.0,
+            "BM_Cold": 50.0}
+
+    # 1. A hot regression beyond threshold must be flagged.
+    _, failures = compare(
+        base, {"BM_DmcSimulation": 150.0, "BM_Encoding": 10.0,
+               "BM_Cold": 50.0},
+        DEFAULT_HOT, 10.0)
+    assert len(failures) == 1 and "BM_DmcSimulation" in failures[0], \
+        failures
+
+    # 2. Inside the threshold: clean.
+    _, failures = compare(
+        base, {"BM_DmcSimulation": 105.0, "BM_Encoding": 10.5,
+               "BM_Cold": 55.0},
+        DEFAULT_HOT, 10.0)
+    assert failures == [], failures
+
+    # 3. A cold benchmark regressing is reported but never fails.
+    _, failures = compare(
+        base, {"BM_DmcSimulation": 100.0, "BM_Encoding": 10.0,
+               "BM_Cold": 500.0},
+        DEFAULT_HOT, 10.0)
+    assert failures == [], failures
+
+    # 4. A hot benchmark vanishing from the new file is a failure.
+    _, failures = compare(
+        base, {"BM_Encoding": 10.0, "BM_Cold": 50.0},
+        DEFAULT_HOT, 10.0)
+    assert len(failures) == 1 and "missing" in failures[0], failures
+
+    # 5. An improvement is never a failure.
+    _, failures = compare(
+        base, {"BM_DmcSimulation": 40.0, "BM_Encoding": 10.0,
+               "BM_Cold": 50.0},
+        DEFAULT_HOT, 10.0)
+    assert failures == [], failures
+
+    print("compare_bench.py self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?",
+                        help="baseline BENCH_*.json")
+    parser.add_argument("new", nargs="?", help="new BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent "
+                             "(default 10)")
+    parser.add_argument("--hot", nargs="*", default=None,
+                        help="hot benchmark names that gate "
+                             "(default: the replay/encoding set)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.new:
+        parser.error("baseline and new JSON files are required "
+                     "(or use --self-test)")
+
+    hot = args.hot if args.hot is not None else DEFAULT_HOT
+    baseline = load_times(args.baseline)
+    new = load_times(args.new)
+    lines, failures = compare(baseline, new, set(hot),
+                              args.threshold)
+
+    print(f"comparing {args.baseline} -> {args.new} "
+          f"(threshold {args.threshold:.0f}% on {len(hot)} hot "
+          f"benchmarks)")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} hot regression(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("\nno hot regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -16,6 +16,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "sim/multi_config.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -38,31 +39,64 @@ main()
     dmc.size_bytes = 16 * 1024;
     dmc.line_bytes = 32;
 
-    // Job 0 per benchmark: bare DMC; jobs 1..3: the FVC assocs.
-    harness::SweepRunner<double> sweep;
+    // Cell 0 per benchmark: bare DMC; cells 1..3: the FVC assocs.
     const auto benches = workload::fvSpecInt();
-    for (auto bench : benches) {
-        auto profile = workload::specIntProfile(bench);
-        sweep.submit([profile, dmc, accesses] {
-            auto trace = harness::sharedTrace(profile, accesses, 88);
-            return harness::dmcMissRate(*trace, dmc);
-        });
-        for (uint32_t assoc : assocs) {
-            sweep.submit([profile, dmc, assoc, accesses] {
+    std::vector<std::optional<double>> rates;
+    if (sim::singlePassEnabled()) {
+        harness::SweepRunner<std::vector<double>> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, dmc, assocs, accesses] {
                 auto trace =
                     harness::sharedTrace(profile, accesses, 88);
-                core::FvcConfig fvc;
-                fvc.entries = 512;
-                fvc.line_bytes = 32;
-                fvc.code_bits = 3;
-                fvc.assoc = assoc;
-                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                return sys->stats().missRatePercent();
+                sim::MultiConfigSimulator engine(
+                    trace->columns, trace->initial_image,
+                    trace->frequent_values);
+                engine.addDmc(dmc);
+                for (uint32_t assoc : assocs) {
+                    core::FvcConfig fvc;
+                    fvc.entries = 512;
+                    fvc.line_bytes = 32;
+                    fvc.code_bits = 3;
+                    fvc.assoc = assoc;
+                    engine.addDmcFvc(dmc, fvc);
+                }
+                engine.run();
+                std::vector<double> out;
+                for (size_t c = 0; c < engine.cellCount(); ++c)
+                    out.push_back(engine.missRatePercent(c));
+                return out;
             });
         }
+        rates = harness::expandGrouped(
+            harness::runDegraded(sweep, "FVC associativity sweep"),
+            1 + assocs.size());
+    } else {
+        harness::SweepRunner<double> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, dmc, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 88);
+                return harness::dmcMissRate(*trace, dmc);
+            });
+            for (uint32_t assoc : assocs) {
+                sweep.submit([profile, dmc, assoc, accesses] {
+                    auto trace =
+                        harness::sharedTrace(profile, accesses, 88);
+                    core::FvcConfig fvc;
+                    fvc.entries = 512;
+                    fvc.line_bytes = 32;
+                    fvc.code_bits = 3;
+                    fvc.assoc = assoc;
+                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                    return sys->stats().missRatePercent();
+                });
+            }
+        }
+        rates =
+            harness::runDegraded(sweep, "FVC associativity sweep");
     }
-    auto rates =
-        harness::runDegraded(sweep, "FVC associativity sweep");
 
     util::Table table({"benchmark", "DMC miss %", "1-way red %",
                        "2-way red %", "4-way red %"});

@@ -16,6 +16,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "sim/multi_config.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -46,30 +47,66 @@ main()
     for (size_t c = 1; c < headers.size(); ++c)
         table.alignRight(c);
 
-    // Job 0 of each benchmark is the bare DMC; jobs 1..N follow the
-    // entry counts. Every job shares the benchmark's trace.
-    harness::SweepRunner<double> sweep;
+    // Cell order per benchmark: the bare DMC first, then the entry
+    // counts. Single-pass mode runs one job per benchmark that
+    // replays the shared trace once through every cell; per-cell
+    // mode (FVC_SINGLE_PASS=0) submits one job per cell. Both paths
+    // yield the same flat per-cell vector.
     const auto benches = workload::fvSpecInt();
-    for (auto bench : benches) {
-        auto profile = workload::specIntProfile(bench);
-        sweep.submit([profile, dmc, accesses] {
-            auto trace = harness::sharedTrace(profile, accesses, 17);
-            return harness::dmcMissRate(*trace, dmc);
-        });
-        for (uint32_t entries : entry_counts) {
-            sweep.submit([profile, dmc, entries, accesses] {
+    const size_t per_group = 1 + entry_counts.size();
+    std::vector<std::optional<double>> rates;
+    if (sim::singlePassEnabled()) {
+        harness::SweepRunner<std::vector<double>> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, dmc, entry_counts, accesses] {
                 auto trace =
                     harness::sharedTrace(profile, accesses, 17);
-                core::FvcConfig fvc;
-                fvc.entries = entries;
-                fvc.line_bytes = dmc.line_bytes;
-                fvc.code_bits = 3;
-                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                return sys->stats().missRatePercent();
+                sim::MultiConfigSimulator engine(
+                    trace->columns, trace->initial_image,
+                    trace->frequent_values);
+                engine.addDmc(dmc);
+                for (uint32_t entries : entry_counts) {
+                    core::FvcConfig fvc;
+                    fvc.entries = entries;
+                    fvc.line_bytes = dmc.line_bytes;
+                    fvc.code_bits = 3;
+                    engine.addDmcFvc(dmc, fvc);
+                }
+                engine.run();
+                std::vector<double> out;
+                for (size_t c = 0; c < engine.cellCount(); ++c)
+                    out.push_back(engine.missRatePercent(c));
+                return out;
             });
         }
+        rates = harness::expandGrouped(
+            harness::runDegraded(sweep, "Figure 10 sweep"),
+            per_group);
+    } else {
+        harness::SweepRunner<double> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, dmc, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 17);
+                return harness::dmcMissRate(*trace, dmc);
+            });
+            for (uint32_t entries : entry_counts) {
+                sweep.submit([profile, dmc, entries, accesses] {
+                    auto trace =
+                        harness::sharedTrace(profile, accesses, 17);
+                    core::FvcConfig fvc;
+                    fvc.entries = entries;
+                    fvc.line_bytes = dmc.line_bytes;
+                    fvc.code_bits = 3;
+                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                    return sys->stats().missRatePercent();
+                });
+            }
+        }
+        rates = harness::runDegraded(sweep, "Figure 10 sweep");
     }
-    auto rates = harness::runDegraded(sweep, "Figure 10 sweep");
 
     size_t job = 0;
     for (auto bench : benches) {

@@ -18,6 +18,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "sim/multi_config.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -56,34 +57,81 @@ main()
         double base;
         double with_fvc[3];
     };
-    harness::SweepRunner<Cell> sweep;
     const auto benches = workload::fvSpecInt();
-    for (auto bench : benches) {
-        auto profile = workload::specIntProfile(bench);
-        for (const auto &config : configs) {
-            sweep.submit([profile, config, accesses] {
+    std::vector<std::optional<Cell>> cells;
+    if (sim::singlePassEnabled()) {
+        // One job per benchmark: a single replay updates all 12 DMC
+        // geometries and their 3 FVC widths (48 cache instances).
+        harness::SweepRunner<std::vector<Cell>> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, configs, accesses] {
                 auto trace =
                     harness::sharedTrace(profile, accesses, 72);
-                cache::CacheConfig dmc;
-                dmc.size_bytes = config.kb * 1024;
-                dmc.line_bytes = config.line;
-
-                Cell cell;
-                cell.base = harness::dmcMissRate(*trace, dmc);
-                for (unsigned bits : {1u, 2u, 3u}) {
-                    core::FvcConfig fvc;
-                    fvc.entries = 512;
-                    fvc.line_bytes = config.line;
-                    fvc.code_bits = bits;
-                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                    cell.with_fvc[bits - 1] =
-                        sys->stats().missRatePercent();
+                sim::MultiConfigSimulator engine(
+                    trace->columns, trace->initial_image,
+                    trace->frequent_values);
+                for (const auto &config : configs) {
+                    cache::CacheConfig dmc;
+                    dmc.size_bytes = config.kb * 1024;
+                    dmc.line_bytes = config.line;
+                    engine.addDmc(dmc);
+                    for (unsigned bits : {1u, 2u, 3u}) {
+                        core::FvcConfig fvc;
+                        fvc.entries = 512;
+                        fvc.line_bytes = config.line;
+                        fvc.code_bits = bits;
+                        engine.addDmcFvc(dmc, fvc);
+                    }
                 }
-                return cell;
+                engine.run();
+                std::vector<Cell> out;
+                size_t c = 0;
+                for (size_t i = 0; i < configs.size(); ++i) {
+                    Cell cell;
+                    cell.base = engine.missRatePercent(c++);
+                    for (unsigned bits : {1u, 2u, 3u}) {
+                        cell.with_fvc[bits - 1] =
+                            engine.missRatePercent(c++);
+                    }
+                    out.push_back(cell);
+                }
+                return out;
             });
         }
+        cells = harness::expandGrouped(
+            harness::runDegraded(sweep, "Figure 12 grid"),
+            configs.size());
+    } else {
+        harness::SweepRunner<Cell> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            for (const auto &config : configs) {
+                sweep.submit([profile, config, accesses] {
+                    auto trace =
+                        harness::sharedTrace(profile, accesses, 72);
+                    cache::CacheConfig dmc;
+                    dmc.size_bytes = config.kb * 1024;
+                    dmc.line_bytes = config.line;
+
+                    Cell cell;
+                    cell.base = harness::dmcMissRate(*trace, dmc);
+                    for (unsigned bits : {1u, 2u, 3u}) {
+                        core::FvcConfig fvc;
+                        fvc.entries = 512;
+                        fvc.line_bytes = config.line;
+                        fvc.code_bits = bits;
+                        auto sys =
+                            harness::runDmcFvc(*trace, dmc, fvc);
+                        cell.with_fvc[bits - 1] =
+                            sys->stats().missRatePercent();
+                    }
+                    return cell;
+                });
+            }
+        }
+        cells = harness::runDegraded(sweep, "Figure 12 grid");
     }
-    auto cells = harness::runDegraded(sweep, "Figure 12 grid");
 
     size_t job = 0;
     for (auto bench : benches) {

@@ -20,6 +20,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "sim/multi_config.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -56,33 +57,33 @@ main()
         workload::SpecInt::M88ksim124, workload::SpecInt::Perl134};
     const std::vector<unsigned> code_bit_sections = {3u, 2u, 1u};
 
-    // Doubled-DMC baselines: one job per (benchmark, geometry),
-    // shared by all three value-count sections.
-    harness::SweepRunner<double> doubled_sweep;
-    for (auto bench : benches) {
-        auto profile = workload::specIntProfile(bench);
-        for (const auto &row : kRows) {
-            doubled_sweep.submit([profile, row, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 23);
-                cache::CacheConfig big;
-                big.size_bytes = row.bigger_kb * 1024;
-                big.line_bytes = row.line_words * 4;
-                return harness::dmcMissRate(*trace, big);
-            });
-        }
-    }
-
-    // DMC+FVC runs: one job per (section, benchmark, geometry).
-    harness::SweepRunner<double> fvc_sweep;
-    for (unsigned code_bits : code_bit_sections) {
+    // Renderers consume two flat vectors: doubled-DMC baselines in
+    // (benchmark, geometry) order and DMC+FVC rates in (section,
+    // benchmark, geometry) order.
+    std::vector<std::optional<double>> doubled_rates;
+    std::vector<std::optional<double>> fvc_rates;
+    if (sim::singlePassEnabled()) {
+        // One job per benchmark: cells 0..6 are the doubled DMCs
+        // (kRows order), then 7 per code-bits section. The flat
+        // vectors are re-assembled from the per-benchmark groups
+        // because fvc_rates is section-major, not benchmark-major.
+        harness::SweepRunner<std::vector<double>> sweep;
         for (auto bench : benches) {
             auto profile = workload::specIntProfile(bench);
-            for (const auto &row : kRows) {
-                fvc_sweep.submit(
-                    [profile, row, code_bits, accesses] {
-                        auto trace = harness::sharedTrace(
-                            profile, accesses, 23);
+            sweep.submit([profile, code_bit_sections, accesses] {
+                auto trace =
+                    harness::sharedTrace(profile, accesses, 23);
+                sim::MultiConfigSimulator engine(
+                    trace->columns, trace->initial_image,
+                    trace->frequent_values);
+                for (const auto &row : kRows) {
+                    cache::CacheConfig big;
+                    big.size_bytes = row.bigger_kb * 1024;
+                    big.line_bytes = row.line_words * 4;
+                    engine.addDmc(big);
+                }
+                for (unsigned code_bits : code_bit_sections) {
+                    for (const auto &row : kRows) {
                         cache::CacheConfig small;
                         small.size_bytes = row.dmc_kb * 1024;
                         small.line_bytes = row.line_words * 4;
@@ -90,18 +91,85 @@ main()
                         fvc.entries = 512;
                         fvc.line_bytes = small.line_bytes;
                         fvc.code_bits = code_bits;
-                        auto sys =
-                            harness::runDmcFvc(*trace, small, fvc);
-                        return sys->stats().missRatePercent();
-                    });
+                        engine.addDmcFvc(small, fvc);
+                    }
+                }
+                engine.run();
+                std::vector<double> out;
+                for (size_t c = 0; c < engine.cellCount(); ++c)
+                    out.push_back(engine.missRatePercent(c));
+                return out;
+            });
+        }
+        auto groups =
+            harness::runDegraded(sweep, "Figure 13 single-pass runs");
+
+        const size_t rows = kRows.size();
+        const size_t sections = code_bit_sections.size();
+        doubled_rates.resize(benches.size() * rows);
+        fvc_rates.resize(sections * benches.size() * rows);
+        for (size_t b = 0; b < benches.size(); ++b) {
+            for (size_t r = 0; r < rows; ++r) {
+                doubled_rates[b * rows + r] =
+                    groups[b] ? std::optional((*groups[b])[r])
+                              : std::nullopt;
+                for (size_t s = 0; s < sections; ++s) {
+                    fvc_rates[(s * benches.size() + b) * rows + r] =
+                        groups[b]
+                            ? std::optional(
+                                  (*groups[b])[rows * (1 + s) + r])
+                            : std::nullopt;
+                }
             }
         }
-    }
+    } else {
+        // Doubled-DMC baselines: one job per (benchmark, geometry),
+        // shared by all three value-count sections.
+        harness::SweepRunner<double> doubled_sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            for (const auto &row : kRows) {
+                doubled_sweep.submit([profile, row, accesses] {
+                    auto trace =
+                        harness::sharedTrace(profile, accesses, 23);
+                    cache::CacheConfig big;
+                    big.size_bytes = row.bigger_kb * 1024;
+                    big.line_bytes = row.line_words * 4;
+                    return harness::dmcMissRate(*trace, big);
+                });
+            }
+        }
 
-    auto doubled_rates =
-        harness::runDegraded(doubled_sweep, "Figure 13 2x-DMC runs");
-    auto fvc_rates =
-        harness::runDegraded(fvc_sweep, "Figure 13 DMC+FVC runs");
+        // DMC+FVC runs: one job per (section, benchmark, geometry).
+        harness::SweepRunner<double> fvc_sweep;
+        for (unsigned code_bits : code_bit_sections) {
+            for (auto bench : benches) {
+                auto profile = workload::specIntProfile(bench);
+                for (const auto &row : kRows) {
+                    fvc_sweep.submit(
+                        [profile, row, code_bits, accesses] {
+                            auto trace = harness::sharedTrace(
+                                profile, accesses, 23);
+                            cache::CacheConfig small;
+                            small.size_bytes = row.dmc_kb * 1024;
+                            small.line_bytes = row.line_words * 4;
+                            core::FvcConfig fvc;
+                            fvc.entries = 512;
+                            fvc.line_bytes = small.line_bytes;
+                            fvc.code_bits = code_bits;
+                            auto sys = harness::runDmcFvc(
+                                *trace, small, fvc);
+                            return sys->stats().missRatePercent();
+                        });
+                }
+            }
+        }
+
+        doubled_rates = harness::runDegraded(
+            doubled_sweep, "Figure 13 2x-DMC runs");
+        fvc_rates = harness::runDegraded(
+            fvc_sweep, "Figure 13 DMC+FVC runs");
+    }
 
     size_t fvc_job = 0;
     for (unsigned code_bits : code_bit_sections) {

@@ -19,6 +19,7 @@
 #include "harness/report.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
+#include "sim/multi_config.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -43,33 +44,75 @@ main()
         double base;
         double with_fvc;
     };
-    harness::SweepRunner<Cell> sweep;
     const auto benches = workload::fvSpecInt();
-    for (auto bench : benches) {
-        auto profile = workload::specIntProfile(bench);
-        for (uint32_t assoc : assocs) {
-            sweep.submit([profile, assoc, accesses] {
+    std::vector<std::optional<Cell>> cells;
+    if (sim::singlePassEnabled()) {
+        // One job per benchmark: all three associativities, bare
+        // and with FVC, in one replay of the shared trace.
+        harness::SweepRunner<std::vector<Cell>> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            sweep.submit([profile, assocs, accesses] {
                 auto trace =
                     harness::sharedTrace(profile, accesses, 29);
-                cache::CacheConfig dmc;
-                dmc.size_bytes = 16 * 1024;
-                dmc.line_bytes = 32;
-                dmc.assoc = assoc;
-
-                Cell cell;
-                cell.base = harness::dmcMissRate(*trace, dmc);
-
-                core::FvcConfig fvc;
-                fvc.entries = 512;
-                fvc.line_bytes = dmc.line_bytes;
-                fvc.code_bits = 3;
-                auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                cell.with_fvc = sys->stats().missRatePercent();
-                return cell;
+                sim::MultiConfigSimulator engine(
+                    trace->columns, trace->initial_image,
+                    trace->frequent_values);
+                for (uint32_t assoc : assocs) {
+                    cache::CacheConfig dmc;
+                    dmc.size_bytes = 16 * 1024;
+                    dmc.line_bytes = 32;
+                    dmc.assoc = assoc;
+                    engine.addDmc(dmc);
+                    core::FvcConfig fvc;
+                    fvc.entries = 512;
+                    fvc.line_bytes = dmc.line_bytes;
+                    fvc.code_bits = 3;
+                    engine.addDmcFvc(dmc, fvc);
+                }
+                engine.run();
+                std::vector<Cell> out;
+                for (size_t a = 0; a < assocs.size(); ++a) {
+                    Cell cell;
+                    cell.base = engine.missRatePercent(2 * a);
+                    cell.with_fvc =
+                        engine.missRatePercent(2 * a + 1);
+                    out.push_back(cell);
+                }
+                return out;
             });
         }
+        cells = harness::expandGrouped(
+            harness::runDegraded(sweep, "Figure 14 sweep"),
+            assocs.size());
+    } else {
+        harness::SweepRunner<Cell> sweep;
+        for (auto bench : benches) {
+            auto profile = workload::specIntProfile(bench);
+            for (uint32_t assoc : assocs) {
+                sweep.submit([profile, assoc, accesses] {
+                    auto trace =
+                        harness::sharedTrace(profile, accesses, 29);
+                    cache::CacheConfig dmc;
+                    dmc.size_bytes = 16 * 1024;
+                    dmc.line_bytes = 32;
+                    dmc.assoc = assoc;
+
+                    Cell cell;
+                    cell.base = harness::dmcMissRate(*trace, dmc);
+
+                    core::FvcConfig fvc;
+                    fvc.entries = 512;
+                    fvc.line_bytes = dmc.line_bytes;
+                    fvc.code_bits = 3;
+                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
+                    cell.with_fvc = sys->stats().missRatePercent();
+                    return cell;
+                });
+            }
+        }
+        cells = harness::runDegraded(sweep, "Figure 14 sweep");
     }
-    auto cells = harness::runDegraded(sweep, "Figure 14 sweep");
 
     util::Table table({"benchmark", "assoc", "miss % (no FVC)",
                        "miss % (FVC)", "reduction %"});

@@ -11,6 +11,8 @@
 #include "core/dmc_fvc_system.hh"
 #include "harness/runner.hh"
 #include "profiling/value_table.hh"
+#include "sim/batch_encoder.hh"
+#include "sim/multi_config.hh"
 #include "workload/generator.hh"
 
 namespace {
@@ -116,6 +118,107 @@ BM_Encoding(benchmark::State &state)
 }
 BENCHMARK(BM_Encoding);
 
+// The grid the two sweep-engine benchmarks replay: three DMC sizes,
+// each bare and with a 512-entry FVC at 1/2/3 code bits (12 cells).
+// Shaped like one benchmark's share of the fig12 grid.
+struct GridCell
+{
+    uint32_t dmc_kb;
+    unsigned code_bits; // 0 = bare DMC
+};
+
+std::vector<GridCell>
+sweepGrid()
+{
+    std::vector<GridCell> grid;
+    for (uint32_t kb : {8u, 16u, 32u}) {
+        grid.push_back({kb, 0});
+        for (unsigned bits : {1u, 2u, 3u})
+            grid.push_back({kb, bits});
+    }
+    return grid;
+}
+
+void
+BM_GridSweepPerCell(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    const auto grid = sweepGrid();
+    for (auto _ : state) {
+        double sum = 0.0;
+        for (const auto &cell : grid) {
+            cache::CacheConfig dmc;
+            dmc.size_bytes = cell.dmc_kb * 1024;
+            dmc.line_bytes = 32;
+            if (cell.code_bits == 0) {
+                sum += harness::dmcMissRate(trace, dmc);
+            } else {
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = 32;
+                fvc.code_bits = cell.code_bits;
+                auto sys = harness::runDmcFvc(trace, dmc, fvc);
+                sum += sys->stats().missRatePercent();
+            }
+        }
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.records.size() * grid.size());
+}
+BENCHMARK(BM_GridSweepPerCell)->Unit(benchmark::kMillisecond);
+
+void
+BM_GridSweepSinglePass(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    const auto grid = sweepGrid();
+    for (auto _ : state) {
+        sim::MultiConfigSimulator engine(trace.columns,
+                                         trace.initial_image,
+                                         trace.frequent_values);
+        for (const auto &cell : grid) {
+            cache::CacheConfig dmc;
+            dmc.size_bytes = cell.dmc_kb * 1024;
+            dmc.line_bytes = 32;
+            if (cell.code_bits == 0) {
+                engine.addDmc(dmc);
+            } else {
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = 32;
+                fvc.code_bits = cell.code_bits;
+                engine.addDmcFvc(dmc, fvc);
+            }
+        }
+        engine.run();
+        double sum = 0.0;
+        for (size_t c = 0; c < engine.cellCount(); ++c)
+            sum += engine.missRatePercent(c);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.records.size() * grid.size());
+}
+BENCHMARK(BM_GridSweepSinglePass)->Unit(benchmark::kMillisecond);
+
+void
+BM_BatchEncoding(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    core::FrequentValueEncoding enc(trace.frequent_values, 3);
+    sim::BatchEncoder encoder(enc);
+    const auto &chunk = trace.columns.chunks().front();
+    std::vector<core::Code> codes(chunk.size());
+    for (auto _ : state) {
+        encoder.encode(chunk.value.data(), chunk.size(),
+                       codes.data());
+        benchmark::DoNotOptimize(codes.data());
+    }
+    state.SetItemsProcessed(state.iterations() * chunk.size());
+}
+BENCHMARK(BM_BatchEncoding);
+
 void
 BM_ValueCounting(benchmark::State &state)
 {
@@ -135,4 +238,23 @@ BENCHMARK(BM_ValueCounting)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main so the JSON context records whether *our* code was
+// optimized. The library-provided "library_build_type" field
+// describes the distro's libbenchmark build, not this binary, so
+// bench/run_bench.sh keys its refuse-to-record guard off
+// fvc_build_type instead.
+int
+main(int argc, char **argv)
+{
+#if defined(NDEBUG) && defined(__OPTIMIZE__)
+    benchmark::AddCustomContext("fvc_build_type", "release");
+#else
+    benchmark::AddCustomContext("fvc_build_type", "debug");
+#endif
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

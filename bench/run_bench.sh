@@ -2,15 +2,33 @@
 # Run the google-benchmark microbenchmarks and write the results as
 # JSON to BENCH_microbench.json at the repository root. The file is
 # committed so the repo carries a perf trajectory: rerun after perf
-# work and compare against the checked-in numbers.
+# work and compare against the checked-in numbers (see
+# bench/compare_bench.py).
+#
+# The default (no-argument) invocation configures and builds a
+# dedicated Release tree under build-bench/ so the committed numbers
+# always come from an optimized, assertion-free binary. Passing a
+# build dir skips that and uses its microbench as-is — but whatever
+# the source, a binary whose JSON does not report
+# "fvc_build_type": "release" is refused: debug numbers in the perf
+# trajectory are worse than no numbers.
 #
 # Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
 # Env:   FVC_BENCH_MIN_TIME  per-benchmark min time (default 0.3)
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build"}
-[ $# -gt 0 ] && shift
+if [ $# -gt 0 ]; then
+    build_dir=$1
+    shift
+else
+    build_dir="$repo_root/build-bench"
+    cmake -S "$repo_root" -B "$build_dir" \
+        -DCMAKE_BUILD_TYPE=Release >/dev/null
+fi
+
+cmake --build "$build_dir" --target microbench \
+    -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
 
 bin="$build_dir/bench/microbench"
 if [ ! -x "$bin" ]; then
@@ -18,8 +36,23 @@ if [ ! -x "$bin" ]; then
     exit 1
 fi
 
-exec "$bin" \
-    --benchmark_out="$repo_root/BENCH_microbench.json" \
+out="$repo_root/BENCH_microbench.json"
+tmp="$out.tmp"
+trap 'rm -f "$tmp"' EXIT
+
+"$bin" \
+    --benchmark_out="$tmp" \
     --benchmark_out_format=json \
     --benchmark_min_time="${FVC_BENCH_MIN_TIME:-0.3}" \
     "$@"
+
+if ! grep -q '"fvc_build_type": "release"' "$tmp"; then
+    echo "error: refusing to record benchmark numbers from a" \
+         "non-release microbench binary (fvc_build_type !=" \
+         "release in $tmp); build with -DCMAKE_BUILD_TYPE=Release" >&2
+    exit 1
+fi
+
+mv "$tmp" "$out"
+trap - EXIT
+echo "wrote $out"

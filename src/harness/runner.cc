@@ -22,6 +22,7 @@ prepareTrace(const workload::BenchmarkProfile &profile,
     trace::MemRecord rec;
     while (gen.next(rec)) {
         out.records.push_back(rec);
+        out.columns.append(rec);
         profiler.observe(rec);
     }
     out.instructions = gen.currentIcount();

@@ -16,6 +16,7 @@
 #include "cache/cache_system.hh"
 #include "core/dmc_fvc_system.hh"
 #include "profiling/access_profiler.hh"
+#include "sim/chunked_trace.hh"
 #include "workload/generator.hh"
 
 namespace fvc::harness {
@@ -25,6 +26,8 @@ struct PreparedTrace
 {
     std::string name;
     std::vector<trace::MemRecord> records;
+    /** The same records, column-split for the single-pass engine. */
+    sim::ChunkedTrace columns;
     /** Top frequently accessed values, most frequent first. */
     std::vector<trace::Word> frequent_values;
     /** Memory contents at trace start (the preload image). */

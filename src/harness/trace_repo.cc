@@ -1,7 +1,13 @@
 #include "harness/trace_repo.hh"
 
+#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <utility>
+
+#include "memmodel/functional_memory.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
 
 namespace fvc::harness {
 
@@ -19,6 +25,59 @@ TraceKeyHash::operator()(const TraceKey &key) const
     return h;
 }
 
+size_t
+TraceRepository::capBytes()
+{
+    if (const char *env = std::getenv("FVC_TRACE_CACHE_MB")) {
+        // Strict parse: "64x" is a user error, not a 64 MB cap.
+        auto v = util::parseUint(env);
+        if (v && *v <= std::numeric_limits<size_t>::max() /
+                          (1024 * 1024)) {
+            return static_cast<size_t>(*v) * 1024 * 1024;
+        }
+        fvc_warn("ignoring bad FVC_TRACE_CACHE_MB value: ", env);
+    }
+    return std::numeric_limits<size_t>::max();
+}
+
+size_t
+TraceRepository::traceBytes(const PreparedTrace &trace)
+{
+    size_t bytes =
+        trace.records.capacity() * sizeof(trace::MemRecord) +
+        trace.columns.memoryBytes() +
+        trace.frequent_values.capacity() * sizeof(trace::Word);
+    bytes += (trace.initial_image.pageCount() +
+              trace.final_image.pageCount()) *
+             sizeof(memmodel::Page);
+    return bytes;
+}
+
+void
+TraceRepository::enforceCapLocked(const TraceKey &keep)
+{
+    const size_t cap = capBytes();
+    while (total_bytes_ > cap) {
+        auto victim = traces_.end();
+        for (auto it = traces_.begin(); it != traces_.end(); ++it) {
+            if (!it->second.ready || it->first == keep)
+                continue;
+            if (victim == traces_.end() ||
+                it->second.last_use < victim->second.last_use) {
+                victim = it;
+            }
+        }
+        // Nothing evictable (all in flight, or only the trace that
+        // just landed remains): an over-cap single trace stays
+        // resident — the cap bounds the cache, not one workload.
+        if (victim == traces_.end())
+            break;
+        total_bytes_ -= victim->second.bytes;
+        ++evictions_;
+        traces_.erase(victim);
+    }
+}
+
 TraceRepository::TracePtr
 TraceRepository::get(const workload::BenchmarkProfile &profile,
                      uint64_t accesses, uint64_t seed, size_t top_k)
@@ -32,10 +91,14 @@ TraceRepository::get(const workload::BenchmarkProfile &profile,
         std::lock_guard lock(mutex_);
         auto it = traces_.find(key);
         if (it != traces_.end()) {
-            future = it->second;
+            it->second.last_use = ++use_clock_;
+            future = it->second.future;
         } else {
             future = promise.get_future().share();
-            traces_.emplace(key, future);
+            Entry entry;
+            entry.future = future;
+            entry.last_use = ++use_clock_;
+            traces_.emplace(key, std::move(entry));
             producer = true;
         }
     }
@@ -47,7 +110,18 @@ TraceRepository::get(const workload::BenchmarkProfile &profile,
     try {
         auto trace = std::make_shared<const PreparedTrace>(
             prepareTrace(profile, accesses, seed, top_k));
+        const size_t bytes = traceBytes(*trace);
         promise.set_value(std::move(trace));
+        std::lock_guard lock(mutex_);
+        auto it = traces_.find(key);
+        // clear() may have raced the generation; only account
+        // entries still in the table.
+        if (it != traces_.end()) {
+            it->second.ready = true;
+            it->second.bytes = bytes;
+            total_bytes_ += bytes;
+            enforceCapLocked(key);
+        }
     } catch (...) {
         promise.set_exception(std::current_exception());
         // Forget the failed entry so a later call can retry.
@@ -65,11 +139,26 @@ TraceRepository::size() const
     return traces_.size();
 }
 
+size_t
+TraceRepository::residentBytes() const
+{
+    std::lock_guard lock(mutex_);
+    return total_bytes_;
+}
+
+uint64_t
+TraceRepository::evictions() const
+{
+    std::lock_guard lock(mutex_);
+    return evictions_;
+}
+
 void
 TraceRepository::clear()
 {
     std::lock_guard lock(mutex_);
     traces_.clear();
+    total_bytes_ = 0;
 }
 
 TraceRepository &

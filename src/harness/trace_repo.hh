@@ -11,6 +11,14 @@
  * the first caller of a key generates while callers of other keys
  * generate theirs, and later callers of the same key block only on
  * that key's completion.
+ *
+ * Memory bound: FVC_TRACE_CACHE_MB caps the repository's resident
+ * footprint (strict-parsed megabytes; unset = unbounded). When a
+ * newly generated trace pushes the total over the cap, completed
+ * least-recently-used entries are dropped. Eviction only releases
+ * the repository's reference — outstanding TracePtrs stay valid —
+ * and a later request for an evicted key regenerates a
+ * byte-identical trace (generation is a pure function of the key).
  */
 
 #ifndef FVC_HARNESS_TRACE_REPO_HH_
@@ -69,17 +77,44 @@ class TraceRepository
     /** Number of traces generated (or in flight). */
     size_t size() const;
 
+    /** Resident bytes of completed cached traces (estimate). */
+    size_t residentBytes() const;
+
+    /** Traces dropped by the FVC_TRACE_CACHE_MB bound so far. */
+    uint64_t evictions() const;
+
     /** Drop every cached trace (outstanding TracePtrs stay valid). */
     void clear();
 
     /** The process-wide repository. */
     static TraceRepository &shared();
 
+    /** Estimated heap footprint of one prepared trace. */
+    static size_t traceBytes(const PreparedTrace &trace);
+
   private:
+    struct Entry
+    {
+        std::shared_future<TracePtr> future;
+        /** LRU stamp; bumped on every lookup. */
+        uint64_t last_use = 0;
+        /** traceBytes() of the finished trace (0 while in flight). */
+        size_t bytes = 0;
+        /** In-flight entries are never evicted. */
+        bool ready = false;
+    };
+
+    /** FVC_TRACE_CACHE_MB in bytes; SIZE_MAX when unbounded. */
+    static size_t capBytes();
+
+    /** Evict ready LRU entries (except @p keep) until under cap. */
+    void enforceCapLocked(const TraceKey &keep);
+
     mutable std::mutex mutex_;
-    std::unordered_map<TraceKey, std::shared_future<TracePtr>,
-                       TraceKeyHash>
-        traces_;
+    std::unordered_map<TraceKey, Entry, TraceKeyHash> traces_;
+    uint64_t use_clock_ = 0;
+    size_t total_bytes_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 /**

@@ -1,0 +1,83 @@
+#include "sim/batch_encoder.hh"
+
+#include "util/logging.hh"
+
+namespace fvc::sim {
+
+BatchEncoder::BatchEncoder(const core::FrequentValueEncoding &encoding)
+    : table_(encoding.values()),
+      non_frequent_(encoding.nonFrequentCode())
+{
+    codes_.reserve(table_.size());
+    for (size_t i = 0; i < table_.size(); ++i) {
+        // values() is in code order: value i carries code i.
+        codes_.push_back(static_cast<Code>(i));
+        fvc_assert(encoding.encode(table_[i]) == codes_.back(),
+                   "encoding table is not in code order");
+    }
+}
+
+void
+BatchEncoder::encode(const Word *values, size_t n, Code *codes) const
+{
+    const size_t entries = table_.size();
+    const Word *table = table_.data();
+    const Code *table_codes = codes_.data();
+    const Code miss = non_frequent_;
+
+    size_t i = 0;
+    for (; i + kBatch <= n; i += kBatch) {
+        Code out[kBatch];
+        for (size_t j = 0; j < kBatch; ++j)
+            out[j] = miss;
+        // Table-major: each step broadcasts one table entry against
+        // eight lane values — a vector compare + blend per step.
+        for (size_t t = 0; t < entries; ++t) {
+            const Word tv = table[t];
+            const Code tc = table_codes[t];
+            for (size_t j = 0; j < kBatch; ++j)
+                out[j] = (values[i + j] == tv) ? tc : out[j];
+        }
+        for (size_t j = 0; j < kBatch; ++j)
+            codes[i + j] = out[j];
+    }
+    for (; i < n; ++i) {
+        Code c = miss;
+        for (size_t t = 0; t < entries; ++t)
+            c = (values[i] == table[t]) ? table_codes[t] : c;
+        codes[i] = c;
+    }
+}
+
+uint32_t
+BatchEncoder::frequentCount(const Word *values, size_t n) const
+{
+    const size_t entries = table_.size();
+    const Word *table = table_.data();
+    uint32_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint32_t hit = 0;
+        for (size_t t = 0; t < entries; ++t)
+            hit |= (values[i] == table[t]) ? 1u : 0u;
+        count += hit;
+    }
+    return count;
+}
+
+uint64_t
+BatchEncoder::frequentMask(const Word *values, size_t n) const
+{
+    fvc_assert(n <= 64, "frequentMask spans at most 64 values");
+    const size_t entries = table_.size();
+    const Word *table = table_.data();
+    uint64_t mask = 0;
+    for (size_t i = 0; i < n; ++i) {
+        uint64_t hit = 0;
+        for (size_t t = 0; t < entries; ++t)
+            hit |= (values[i] == table[t]) ? 1u : 0u;
+        mask |= hit << i;
+    }
+    return mask;
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * BatchEncoder: branchless frequent-value encoding over columns.
+ *
+ * FrequentValueEncoding::encode is a branchless binary search tuned
+ * for one value at a time; its serial compare-select chain cannot
+ * overlap across values. The sweep engine instead encodes the SoA
+ * value column in blocks of eight: for the paper's tables (at most
+ * 7 values for 3-bit codes) a linear compare-against-every-table-
+ * entry sweep is branch-free and auto-vectorizes — eight values are
+ * matched against one broadcast table entry per step, so the
+ * per-value cost is a fraction of the scalar search.
+ *
+ * Exact-match semantics are identical to FrequentValueEncoding
+ * (the parity tests assert code-for-code equality).
+ */
+
+#ifndef FVC_SIM_BATCH_ENCODER_HH_
+#define FVC_SIM_BATCH_ENCODER_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/encoding.hh"
+#include "trace/record.hh"
+
+namespace fvc::sim {
+
+using core::Code;
+using trace::Word;
+
+class BatchEncoder
+{
+  public:
+    explicit BatchEncoder(const core::FrequentValueEncoding &encoding);
+
+    /** Width of the encode batch (one unrolled inner block). */
+    static constexpr size_t kBatch = 8;
+
+    Code nonFrequentCode() const { return non_frequent_; }
+
+    /**
+     * Encode @p n values from @p values into @p codes. Both spans
+     * may be columns of a TraceChunk; @p n need not be a multiple
+     * of kBatch (the tail is handled scalar).
+     */
+    void encode(const Word *values, size_t n, Code *codes) const;
+
+    /** Count how many of @p n values are frequent (have a code). */
+    uint32_t frequentCount(const Word *values, size_t n) const;
+
+    /**
+     * Set bit i of the result iff values[i] is frequent. @p n must
+     * be at most 64. Feeds the write-allocate test of the fused
+     * replay loop with one AND instead of a table search.
+     */
+    uint64_t frequentMask(const Word *values, size_t n) const;
+
+  private:
+    /** Table values and their codes, in code order. */
+    std::vector<Word> table_;
+    std::vector<Code> codes_;
+    Code non_frequent_;
+};
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_BATCH_ENCODER_HH_

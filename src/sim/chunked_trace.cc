@@ -1,0 +1,60 @@
+#include "sim/chunked_trace.hh"
+
+#include "util/logging.hh"
+
+namespace fvc::sim {
+
+void
+ChunkedTrace::append(const trace::MemRecord &rec)
+{
+    if (chunks_.empty() || chunks_.back().size() == kChunkRecords) {
+        TraceChunk chunk;
+        chunk.addr.reserve(kChunkRecords);
+        chunk.value.reserve(kChunkRecords);
+        chunk.op.reserve(kChunkRecords);
+        chunks_.push_back(std::move(chunk));
+    }
+    TraceChunk &tail = chunks_.back();
+    tail.addr.push_back(rec.addr);
+    tail.value.push_back(rec.value);
+    tail.op.push_back(static_cast<uint8_t>(rec.op));
+    ++size_;
+}
+
+ChunkedTrace
+ChunkedTrace::fromRecords(const std::vector<trace::MemRecord> &records)
+{
+    ChunkedTrace out;
+    out.chunks_.reserve(records.size() / kChunkRecords + 1);
+    for (const auto &rec : records)
+        out.append(rec);
+    return out;
+}
+
+size_t
+ChunkedTrace::memoryBytes() const
+{
+    size_t bytes = 0;
+    for (const auto &chunk : chunks_) {
+        bytes += chunk.addr.capacity() * sizeof(Addr) +
+                 chunk.value.capacity() * sizeof(Word) +
+                 chunk.op.capacity() * sizeof(uint8_t);
+    }
+    return bytes;
+}
+
+trace::MemRecord
+ChunkedTrace::record(size_t i) const
+{
+    fvc_assert(i < size_, "ChunkedTrace::record out of range");
+    const TraceChunk &chunk = chunks_[i / kChunkRecords];
+    size_t off = i % kChunkRecords;
+    trace::MemRecord rec;
+    rec.op = static_cast<trace::Op>(chunk.op[off]);
+    rec.addr = chunk.addr[off];
+    rec.value = chunk.value[off];
+    rec.icount = 0;
+    return rec;
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * ChunkedTrace: a structure-of-arrays, chunked in-memory trace.
+ *
+ * The sweep benches replay one trace through dozens of cache
+ * configurations. The array-of-structs MemRecord layout streams 24
+ * bytes per record (op + padding + addr + value + icount) through
+ * the replay loop even though the simulators consume only op, addr,
+ * and value. ChunkedTrace stores those three as separate columns in
+ * fixed-size chunks: a column scan touches 9 bytes per record, is
+ * cache-line dense, and the value column can be fed to BatchEncoder
+ * eight words at a time. Chunks keep any one allocation modest and
+ * give the single-pass engine (MultiConfigSimulator) a natural
+ * blocking unit for precomputed per-chunk data.
+ */
+
+#ifndef FVC_SIM_CHUNKED_TRACE_HH_
+#define FVC_SIM_CHUNKED_TRACE_HH_
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace fvc::sim {
+
+using trace::Addr;
+using trace::Word;
+
+/** Records per chunk (64K; a full chunk's columns are ~576 KB). */
+inline constexpr size_t kChunkRecords = 64 * 1024;
+
+/** One block of column data. All columns have equal length. */
+struct TraceChunk
+{
+    std::vector<Addr> addr;
+    std::vector<Word> value;
+    /** Raw trace::Op values (uint8_t to keep the column dense). */
+    std::vector<uint8_t> op;
+
+    size_t size() const { return addr.size(); }
+};
+
+/** The columnar trace: an ordered sequence of chunks. */
+class ChunkedTrace
+{
+  public:
+    ChunkedTrace() = default;
+
+    /** Append one record (grows the tail chunk). */
+    void append(const trace::MemRecord &rec);
+
+    /** Column-split an existing record vector. */
+    static ChunkedTrace
+    fromRecords(const std::vector<trace::MemRecord> &records);
+
+    const std::vector<TraceChunk> &chunks() const { return chunks_; }
+
+    /** Total records across all chunks. */
+    size_t size() const { return size_; }
+
+    bool empty() const { return size_ == 0; }
+
+    /** Heap footprint of the columns (capacity, in bytes). */
+    size_t memoryBytes() const;
+
+    /**
+     * Reassemble record @p i (icount is not stored and comes back
+     * as 0; the cache simulators never read it). Test/debug aid —
+     * hot paths iterate chunks() directly.
+     */
+    trace::MemRecord record(size_t i) const;
+
+  private:
+    std::vector<TraceChunk> chunks_;
+    size_t size_ = 0;
+};
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_CHUNKED_TRACE_HH_

@@ -1,0 +1,323 @@
+#include "sim/counting_fvc.hh"
+
+#include <bit>
+
+#include "util/bitops.hh"
+#include "util/logging.hh"
+
+namespace fvc::sim {
+
+CountingDmcFvc::CountingDmcFvc(const cache::CacheConfig &dmc,
+                               const core::FvcConfig &fvc,
+                               const BatchEncoder *encoder,
+                               core::DmcFvcPolicy policy,
+                               memmodel::FunctionalMemory *image,
+                               uint64_t dmc_seed)
+    : dmc_config_(dmc), fvc_config_(fvc), encoder_(encoder),
+      policy_(policy), image_(image), dmc_rng_(dmc_seed),
+      sample_countdown_(policy.occupancy_sample_interval)
+{
+    dmc_config_.validate();
+    fvc_config_.validate();
+    fvc_assert(dmc_config_.write_policy ==
+                   cache::WritePolicy::WriteBack,
+               "count-only model requires a write-back DMC");
+    fvc_assert(dmc_config_.line_bytes == fvc_config_.line_bytes,
+               "FVC line size must match the main cache");
+    fvc_assert(encoder_ != nullptr && image_ != nullptr,
+               "CountingDmcFvc needs an encoder and an image");
+    words_per_line_ = fvc_config_.wordsPerLine();
+    fvc_assert(words_per_line_ <= 64,
+               "present mask holds at most 64 words per line");
+
+    dmc_lines_.resize(dmc_config_.lines());
+    dmc_offset_bits_ = dmc_config_.offsetBits();
+    dmc_tag_shift_ = dmc_offset_bits_ + dmc_config_.indexBits();
+    dmc_set_mask_ = dmc_config_.sets() - 1;
+
+    fvc_entries_.resize(fvc_config_.entries);
+    fvc_offset_bits_ = util::floorLog2(fvc_config_.line_bytes);
+    fvc_tag_shift_ =
+        fvc_offset_bits_ + util::floorLog2(fvc_config_.sets());
+    fvc_set_mask_ = fvc_config_.sets() - 1;
+}
+
+CountingDmcFvc::TagLine *
+CountingDmcFvc::dmcProbe(Addr addr)
+{
+    uint32_t set = (addr >> dmc_offset_bits_) & dmc_set_mask_;
+    uint64_t tag = addr >> dmc_tag_shift_;
+    TagLine *line =
+        &dmc_lines_[static_cast<size_t>(set) * dmc_config_.assoc];
+    for (uint32_t way = 0; way < dmc_config_.assoc; ++way, ++line) {
+        if (line->valid && line->tag == tag)
+            return line;
+    }
+    return nullptr;
+}
+
+uint32_t
+CountingDmcFvc::dmcVictimWay(uint32_t set)
+{
+    for (uint32_t way = 0; way < dmc_config_.assoc; ++way) {
+        if (!dmcLineAt(set, way).valid)
+            return way;
+    }
+    switch (dmc_config_.replacement) {
+      case cache::Replacement::Random:
+        return static_cast<uint32_t>(
+            dmc_rng_.below(dmc_config_.assoc));
+      case cache::Replacement::LRU:
+      case cache::Replacement::FIFO: {
+        uint32_t best = 0;
+        for (uint32_t way = 1; way < dmc_config_.assoc; ++way) {
+            if (dmcLineAt(set, way).stamp <
+                dmcLineAt(set, best).stamp) {
+                best = way;
+            }
+        }
+        return best;
+      }
+    }
+    fvc_panic("unreachable replacement policy");
+}
+
+CountingDmcFvc::FvcEntry *
+CountingDmcFvc::fvcFind(Addr addr)
+{
+    uint32_t set = (addr >> fvc_offset_bits_) & fvc_set_mask_;
+    uint64_t tag = addr >> fvc_tag_shift_;
+    FvcEntry *e =
+        &fvc_entries_[static_cast<size_t>(set) * fvc_config_.assoc];
+    for (uint32_t way = 0; way < fvc_config_.assoc; ++way, ++e) {
+        if (e->valid && e->tag == tag)
+            return e;
+    }
+    return nullptr;
+}
+
+CountingDmcFvc::FvcEntry &
+CountingDmcFvc::fvcVictim(uint32_t set)
+{
+    FvcEntry *best = nullptr;
+    for (uint32_t way = 0; way < fvc_config_.assoc; ++way) {
+        FvcEntry &e = fvcEntryAt(set, way);
+        if (!e.valid)
+            return e;
+        if (!best || e.stamp < best->stamp)
+            best = &e;
+    }
+    return *best;
+}
+
+uint64_t
+CountingDmcFvc::lineFrequentMask(Addr base)
+{
+    Word buf[64];
+    for (uint32_t w = 0; w < words_per_line_; ++w)
+        buf[w] = image_->read(base + w * trace::kWordBytes);
+    return encoder_->frequentMask(buf, words_per_line_);
+}
+
+void
+CountingDmcFvc::writebackFvcMeta(uint64_t present, bool dirty)
+{
+    if (!dirty)
+        return;
+    ++fvc_stats_.fvc_writebacks;
+    uint32_t written =
+        static_cast<uint32_t>(std::popcount(present));
+    ++stats_.writebacks;
+    stats_.writeback_bytes +=
+        static_cast<uint64_t>(written) * trace::kWordBytes;
+}
+
+void
+CountingDmcFvc::handleDmcEviction(Addr base, bool dirty)
+{
+    // Rule E, as DmcFvcSystem::handleDmcEviction: write the victim
+    // back, then remember its frequent content in the FVC. The
+    // victim's newest word values ARE the shared image's (the line
+    // tracked every store while resident; all of them are already
+    // applied to the image), so the frequent-word scan reads there.
+    if (dirty) {
+        ++stats_.writebacks;
+        stats_.writeback_bytes += dmc_config_.line_bytes;
+    }
+    uint64_t mask = lineFrequentMask(base);
+    if (policy_.skip_barren_insertions && mask == 0) {
+        ++fvc_stats_.insertions_skipped;
+        return;
+    }
+    ++fvc_stats_.insertions;
+
+    uint32_t set = (base >> fvc_offset_bits_) & fvc_set_mask_;
+    FvcEntry &slot = fvcVictim(set);
+    if (slot.valid)
+        writebackFvcMeta(slot.present, slot.dirty);
+    slot.tag = base >> fvc_tag_shift_;
+    slot.valid = true;
+    slot.dirty = false; // clean insertion: memory just made current
+    slot.stamp = ++fvc_clock_;
+    slot.present = mask;
+}
+
+void
+CountingDmcFvc::fetchInstall(Addr addr)
+{
+    Addr base = dmc_config_.lineBase(addr);
+
+    // FVC overlay + retirement (exclusivity): the line enters the
+    // DMC dirty iff the FVC held newer frequent words.
+    bool dirty = false;
+    if (FvcEntry *e = fvcFind(base)) {
+        dirty = e->dirty && e->present != 0;
+        e->valid = false;
+        e->dirty = false;
+    }
+
+    ++stats_.fills;
+    stats_.fetch_bytes += dmc_config_.line_bytes;
+
+    uint32_t set = (addr >> dmc_offset_bits_) & dmc_set_mask_;
+    TagLine &line = dmcLineAt(set, dmcVictimWay(set));
+    bool victim_valid = line.valid;
+    bool victim_dirty = line.dirty;
+    Addr victim_base = 0;
+    if (victim_valid) {
+        victim_base = static_cast<Addr>(
+            (line.tag << (dmc_config_.offsetBits() +
+                          dmc_config_.indexBits())) |
+            (static_cast<uint64_t>(set) << dmc_config_.offsetBits()));
+    }
+    line.tag = addr >> dmc_tag_shift_;
+    line.valid = true;
+    line.dirty = dirty;
+    line.stamp = ++dmc_clock_;
+
+    if (victim_valid)
+        handleDmcEviction(victim_base, victim_dirty);
+}
+
+void
+CountingDmcFvc::access(trace::Op op, Addr addr,
+                       bool value_is_frequent)
+{
+    ++access_count_;
+    if (sample_countdown_ && --sample_countdown_ == 0) {
+        sampleOccupancy();
+        sample_countdown_ = policy_.occupancy_sample_interval;
+    }
+
+    // Both structures probed in parallel; at most one can hit.
+    if (TagLine *line = dmcProbe(addr)) {
+        if (dmc_config_.replacement == cache::Replacement::LRU)
+            line->stamp = ++dmc_clock_;
+        if (op == trace::Op::Load) {
+            ++stats_.read_hits;
+        } else {
+            ++stats_.write_hits;
+            line->dirty = true;
+        }
+        return;
+    }
+
+    if (op == trace::Op::Load) {
+        if (FvcEntry *e = fvcFind(addr)) {
+            e->stamp = ++fvc_clock_; // touched even when non-frequent
+            if ((e->present >> fvcWordOffset(addr)) & 1u) {
+                ++stats_.read_hits;
+                ++fvc_stats_.fvc_read_hits;
+                return;
+            }
+            ++stats_.read_misses;
+            ++fvc_stats_.partial_misses;
+            fetchInstall(addr);
+            return;
+        }
+    } else {
+        if (FvcEntry *e = fvcFind(addr)) {
+            if (!value_is_frequent) {
+                // Tag match, non-frequent value: miss; merge the
+                // line into the DMC and perform the write there.
+                // (No LRU touch — probeWrite bails before stamping.)
+                ++stats_.write_misses;
+                ++fvc_stats_.partial_misses;
+                fetchInstall(addr);
+                dmcProbe(addr)->dirty = true; // writeWord
+                return;
+            }
+            e->present |= uint64_t{1} << fvcWordOffset(addr);
+            e->dirty = true;
+            e->stamp = ++fvc_clock_;
+            ++stats_.write_hits;
+            ++fvc_stats_.fvc_write_hits;
+            return;
+        }
+    }
+
+    // Miss in both structures.
+    if (op == trace::Op::Load) {
+        ++stats_.read_misses;
+        fetchInstall(addr);
+        return;
+    }
+
+    ++stats_.write_misses;
+    if (policy_.write_allocate_frequent && value_is_frequent) {
+        ++fvc_stats_.write_allocations;
+        uint32_t set = (addr >> fvc_offset_bits_) & fvc_set_mask_;
+        FvcEntry &slot = fvcVictim(set);
+        if (slot.valid)
+            writebackFvcMeta(slot.present, slot.dirty);
+        slot.tag = addr >> fvc_tag_shift_;
+        slot.valid = true;
+        slot.dirty = true;
+        slot.stamp = ++fvc_clock_;
+        slot.present = uint64_t{1} << fvcWordOffset(addr);
+        return;
+    }
+    fetchInstall(addr);
+    dmcProbe(addr)->dirty = true; // writeWord
+}
+
+void
+CountingDmcFvc::flush()
+{
+    // DMC first, then FVC, both set-major — the order DmcFvcSystem
+    // flushes (only counters care, but keep it exact).
+    for (auto &line : dmc_lines_) {
+        if (line.valid && line.dirty) {
+            ++stats_.writebacks;
+            stats_.writeback_bytes += dmc_config_.line_bytes;
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+    for (auto &e : fvc_entries_) {
+        if (e.valid)
+            writebackFvcMeta(e.present, e.dirty);
+        e.valid = false;
+        e.dirty = false;
+    }
+}
+
+void
+CountingDmcFvc::sampleOccupancy()
+{
+    uint64_t slots = 0, frequent = 0;
+    for (const auto &e : fvc_entries_) {
+        if (!e.valid)
+            continue;
+        slots += words_per_line_;
+        frequent +=
+            static_cast<uint64_t>(std::popcount(e.present));
+    }
+    if (slots == 0)
+        return; // no valid lines: no sample, as DmcFvcSystem
+    fvc_stats_.occupancy_sum += static_cast<double>(frequent) /
+                                static_cast<double>(slots);
+    ++fvc_stats_.occupancy_samples;
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * CountingDmcFvc: a count-only replica of core::DmcFvcSystem for the
+ * single-pass sweep engine. It keeps every piece of state that can
+ * influence a counter — DMC tags/valid/dirty/LRU stamps, FVC
+ * tags/dirty/stamps plus a per-word frequent-code bitmask — and
+ * drops everything that cannot: the DMC data array, the FVC code
+ * array's decoded values, and the per-system memory image.
+ *
+ * Why this is sound: in the combined protocol every control-flow
+ * decision depends on values only through "is this value frequent?",
+ * and the values it asks about are always the *newest* program-order
+ * values — a resident DMC line tracks the latest stores (write hits
+ * update it in place), an FVC entry's coded words hold the newest
+ * value by protocol invariant, and a fetched line is memory plus the
+ * FVC overlay, i.e. newest values again. The engine's shared
+ * functional image *is* the newest-value map (it applies each store
+ * after dispatching the record), so the one place line values are
+ * needed — the frequent-word scan of a DMC victim line at FVC
+ * insertion time — reads them from the shared image instead of a
+ * per-system data array. The parity suite asserts byte-identical
+ * CacheStats and FvcStats against DmcFvcSystem across all eight
+ * SPECint95 profiles and randomized geometries/policies.
+ *
+ * Replacement parity: victim selection, stamp updates (LRU-only on
+ * probe hits, always on fill) and the Random-policy RNG stream are
+ * mirrored operation-for-operation from SetAssocCache and
+ * FrequentValueCache, so stamp orderings and rng draws coincide.
+ */
+
+#ifndef FVC_SIM_COUNTING_FVC_HH_
+#define FVC_SIM_COUNTING_FVC_HH_
+
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "core/dmc_fvc_system.hh"
+#include "memmodel/functional_memory.hh"
+#include "sim/batch_encoder.hh"
+#include "util/random.hh"
+
+namespace fvc::sim {
+
+using trace::Addr;
+using trace::Word;
+
+class CountingDmcFvc
+{
+  public:
+    /**
+     * @param dmc main-cache geometry (write-back)
+     * @param fvc FVC geometry
+     * @param encoder shared frequent-value encoder for this
+     *        code_bits group (borrowed; must outlive the system)
+     * @param policy protocol switches, as DmcFvcSystem
+     * @param image the engine's shared program-order image
+     *        (borrowed); must hold the newest value of every word
+     *        referenced so far whenever access() runs
+     */
+    CountingDmcFvc(const cache::CacheConfig &dmc,
+                   const core::FvcConfig &fvc,
+                   const BatchEncoder *encoder,
+                   core::DmcFvcPolicy policy,
+                   memmodel::FunctionalMemory *image,
+                   uint64_t dmc_seed = 12345);
+
+    /**
+     * One load/store; mirrors DmcFvcSystem::accessImpl with the
+     * frequent-value test precomputed by the caller
+     * (@p value_is_frequent must equal isFrequent(record value)).
+     */
+    void access(trace::Op op, Addr addr, bool value_is_frequent);
+
+    /** Account the end-of-run flush (DMC then FVC, set-major). */
+    void flush();
+
+    const cache::CacheStats &stats() const { return stats_; }
+    const core::FvcStats &fvcStats() const { return fvc_stats_; }
+
+  private:
+    struct TagLine
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t stamp = 0;
+    };
+
+    /** FVC entry; bit w of @c present = word w holds a frequent
+     * code (what the full model stores as code != nonFrequent). */
+    struct FvcEntry
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t stamp = 0;
+        uint64_t present = 0;
+    };
+
+    enum class Probe { NoTag, NonFrequent, Hit };
+
+    cache::CacheConfig dmc_config_;
+    core::FvcConfig fvc_config_;
+    const BatchEncoder *encoder_;
+    core::DmcFvcPolicy policy_;
+    memmodel::FunctionalMemory *image_;
+
+    std::vector<TagLine> dmc_lines_;
+    uint64_t dmc_clock_ = 0;
+    util::Rng dmc_rng_;
+    unsigned dmc_offset_bits_ = 0;
+    unsigned dmc_tag_shift_ = 0;
+    uint32_t dmc_set_mask_ = 0;
+
+    std::vector<FvcEntry> fvc_entries_;
+    uint64_t fvc_clock_ = 0;
+    unsigned fvc_offset_bits_ = 0;
+    unsigned fvc_tag_shift_ = 0;
+    uint32_t fvc_set_mask_ = 0;
+    uint32_t words_per_line_ = 0;
+
+    cache::CacheStats stats_;
+    core::FvcStats fvc_stats_;
+    uint64_t access_count_ = 0;
+    uint64_t sample_countdown_ = 0;
+
+    TagLine &dmcLineAt(uint32_t set, uint32_t way)
+    {
+        return dmc_lines_[static_cast<size_t>(set) *
+                              dmc_config_.assoc +
+                          way];
+    }
+    uint32_t dmcVictimWay(uint32_t set);
+    TagLine *dmcProbe(Addr addr);
+
+    FvcEntry &fvcEntryAt(uint32_t set, uint32_t way)
+    {
+        return fvc_entries_[static_cast<size_t>(set) *
+                                fvc_config_.assoc +
+                            way];
+    }
+    FvcEntry *fvcFind(Addr addr);
+    FvcEntry &fvcVictim(uint32_t set);
+    uint32_t fvcWordOffset(Addr addr) const
+    {
+        return (addr & (fvc_config_.line_bytes - 1)) /
+               trace::kWordBytes;
+    }
+
+    /** The victim-line frequent-word mask, read from the shared
+     * image (equals frequentWordCount/insertLine's code scan). */
+    uint64_t lineFrequentMask(Addr base);
+
+    void fetchInstall(Addr addr);
+    void handleDmcEviction(Addr base, bool dirty);
+    /** Mirrors writebackFvcEntry: counts present words. */
+    void writebackFvcMeta(uint64_t present, bool dirty);
+    void sampleOccupancy();
+};
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_COUNTING_FVC_HH_

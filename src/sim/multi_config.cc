@@ -1,0 +1,259 @@
+#include "sim/multi_config.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::sim {
+
+bool
+singlePassEnabled()
+{
+    if (const char *env = std::getenv("FVC_SINGLE_PASS")) {
+        // Strict parse, same contract as FVC_JOBS: trailing garbage
+        // is a user error, not a silent engine switch.
+        auto v = util::parseUint(env);
+        if (v)
+            return *v != 0;
+        fvc_warn("ignoring bad FVC_SINGLE_PASS value: ", env);
+    }
+    return true;
+}
+
+TagOnlyCache::TagOnlyCache(const cache::CacheConfig &config,
+                           uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    config_.validate();
+    fvc_assert(config_.write_policy == cache::WritePolicy::WriteBack,
+               "tag-only model requires a write-back cache "
+               "(write-through moves data on the hit path)");
+    lines_.resize(config_.lines());
+    offset_bits_ = config_.offsetBits();
+    tag_shift_ = offset_bits_ + config_.indexBits();
+    set_mask_ = config_.sets() - 1;
+}
+
+uint32_t
+TagOnlyCache::victimWay(uint32_t set)
+{
+    for (uint32_t way = 0; way < config_.assoc; ++way) {
+        if (!lineAt(set, way).valid)
+            return way;
+    }
+    switch (config_.replacement) {
+      case cache::Replacement::Random:
+        return static_cast<uint32_t>(rng_.below(config_.assoc));
+      case cache::Replacement::LRU:
+      case cache::Replacement::FIFO: {
+        uint32_t best = 0;
+        for (uint32_t way = 1; way < config_.assoc; ++way) {
+            if (lineAt(set, way).stamp < lineAt(set, best).stamp)
+                best = way;
+        }
+        return best;
+      }
+    }
+    fvc_panic("unreachable replacement policy");
+}
+
+void
+TagOnlyCache::access(trace::Op op, Addr addr)
+{
+    uint32_t set = (addr >> offset_bits_) & set_mask_;
+    uint64_t tag = addr >> tag_shift_;
+
+    TagLine *line =
+        &lines_[static_cast<size_t>(set) * config_.assoc];
+    TagLine *hit = nullptr;
+    for (uint32_t way = 0; way < config_.assoc; ++way, ++line) {
+        if (line->valid && line->tag == tag) {
+            hit = line;
+            break;
+        }
+    }
+
+    if (hit) {
+        if (config_.replacement == cache::Replacement::LRU)
+            hit->stamp = ++clock_;
+        if (op == trace::Op::Load) {
+            ++stats_.read_hits;
+        } else {
+            ++stats_.write_hits;
+            hit->dirty = true;
+        }
+        return;
+    }
+
+    if (op == trace::Op::Load)
+        ++stats_.read_misses;
+    else
+        ++stats_.write_misses;
+    ++stats_.fills;
+    stats_.fetch_bytes += config_.line_bytes;
+
+    TagLine &victim = lineAt(set, victimWay(set));
+    if (victim.valid && victim.dirty) {
+        ++stats_.writebacks;
+        stats_.writeback_bytes += config_.line_bytes;
+    }
+    victim.tag = tag;
+    victim.valid = true;
+    victim.dirty = (op == trace::Op::Store);
+    victim.stamp = ++clock_;
+}
+
+void
+TagOnlyCache::flush()
+{
+    for (auto &line : lines_) {
+        if (line.valid && line.dirty) {
+            ++stats_.writebacks;
+            stats_.writeback_bytes += config_.line_bytes;
+        }
+        line.valid = false;
+        line.dirty = false;
+    }
+}
+
+MultiConfigSimulator::MultiConfigSimulator(
+    const ChunkedTrace &trace,
+    const memmodel::FunctionalMemory &initial_image,
+    std::vector<Word> frequent_values)
+    : trace_(trace), initial_image_(initial_image),
+      frequent_values_(std::move(frequent_values))
+{
+}
+
+size_t
+MultiConfigSimulator::addDmc(const cache::CacheConfig &config)
+{
+    fvc_assert(!ran_, "cells must be added before run()");
+    dmcs_.emplace_back(config);
+    cells_.push_back({false, dmcs_.size() - 1});
+    return cells_.size() - 1;
+}
+
+size_t
+MultiConfigSimulator::addDmcFvc(const cache::CacheConfig &dmc,
+                                const core::FvcConfig &fvc,
+                                core::DmcFvcPolicy policy)
+{
+    fvc_assert(!ran_, "cells must be added before run()");
+    auto it = group_of_bits_.find(fvc.code_bits);
+    if (it == group_of_bits_.end()) {
+        // Same construction as harness::runDmcFvc: the profiled
+        // list truncated to the encoding capacity.
+        encoding_groups_.emplace_back(core::FrequentValueEncoding(
+            frequent_values_, fvc.code_bits));
+        it = group_of_bits_
+                 .emplace(fvc.code_bits, encoding_groups_.size() - 1)
+                 .first;
+    }
+
+    systems_.push_back(std::make_unique<CountingDmcFvc>(
+        dmc, fvc, &encoding_groups_[it->second].encoder, policy,
+        &shared_image_));
+    system_group_.push_back(static_cast<unsigned>(it->second));
+    cells_.push_back({true, systems_.size() - 1});
+    return cells_.size() - 1;
+}
+
+void
+MultiConfigSimulator::run()
+{
+    fvc_assert(!ran_, "MultiConfigSimulator::run() runs once");
+    ran_ = true;
+
+    if (!systems_.empty()) {
+        // The shared image starts exactly where each per-system
+        // image would: the preload image's interesting words.
+        initial_image_.forEachInteresting(
+            [this](Addr addr, Word value) {
+                shared_image_.write(addr, value);
+            });
+    }
+
+    const size_t n_dmcs = dmcs_.size();
+    const size_t n_systems = systems_.size();
+
+    for (const TraceChunk &chunk : trace_.chunks()) {
+        const size_t n = chunk.size();
+        const Addr *addrs = chunk.addr.data();
+        const Word *values = chunk.value.data();
+        const uint8_t *ops = chunk.op.data();
+
+        // Frequent-value bits for this chunk, one pass per distinct
+        // encoding (not per cell): BatchEncoder sweeps the value
+        // column 8 at a time and every system with the same
+        // code_bits shares the result.
+        for (auto &group : encoding_groups_) {
+            group.mask.assign((n + 63) / 64, 0);
+            for (size_t i = 0; i < n; i += 64) {
+                size_t span = n - i < 64 ? n - i : 64;
+                group.mask[i / 64] =
+                    group.encoder.frequentMask(values + i, span);
+            }
+        }
+
+        for (size_t i = 0; i < n; ++i) {
+            const auto op = static_cast<trace::Op>(ops[i]);
+            if (op != trace::Op::Load && op != trace::Op::Store)
+                continue;
+            const Addr addr = addrs[i];
+
+            for (size_t d = 0; d < n_dmcs; ++d)
+                dmcs_[d].access(op, addr);
+
+            if (n_systems != 0) {
+                for (size_t s = 0; s < n_systems; ++s) {
+                    const auto &mask =
+                        encoding_groups_[system_group_[s]].mask;
+                    bool frequent =
+                        (mask[i / 64] >> (i % 64)) & 1u;
+                    systems_[s]->access(op, addr, frequent);
+                }
+                // Advance the shared image only after every system
+                // consumed the record: a miss during the store must
+                // observe the line's pre-store contents, and an
+                // eviction's frequent-word scan the victim's
+                // (strictly older) values.
+                if (op == trace::Op::Store)
+                    shared_image_.write(addr, values[i]);
+            }
+        }
+    }
+
+    for (auto &dmc : dmcs_)
+        dmc.flush();
+    for (auto &system : systems_)
+        system->flush();
+}
+
+const cache::CacheStats &
+MultiConfigSimulator::stats(size_t cell) const
+{
+    fvc_assert(ran_, "stats() before run()");
+    fvc_assert(cell < cells_.size(), "bad cell index");
+    const Cell &c = cells_[cell];
+    return c.is_fvc ? systems_[c.index]->stats()
+                    : dmcs_[c.index].stats();
+}
+
+double
+MultiConfigSimulator::missRatePercent(size_t cell) const
+{
+    return stats(cell).missRatePercent();
+}
+
+const core::FvcStats *
+MultiConfigSimulator::fvcStats(size_t cell) const
+{
+    fvc_assert(ran_, "fvcStats() before run()");
+    fvc_assert(cell < cells_.size(), "bad cell index");
+    const Cell &c = cells_[cell];
+    return c.is_fvc ? &systems_[c.index]->fvcStats() : nullptr;
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * MultiConfigSimulator: single-pass simulation of a whole sweep
+ * grid. One scan of a ChunkedTrace updates every configuration of a
+ * (benchmark, trace) pair at once, instead of replaying the trace
+ * once per grid cell.
+ *
+ * Two cell kinds, two sharing strategies:
+ *
+ *  - Bare DMC cells run on a tag-only cache model. A write-back
+ *    cache's hit/miss/fill/writeback counters depend only on the
+ *    address/op stream — never on data values — so the data arrays,
+ *    the per-system memory image, and all line-fill/writeback data
+ *    movement of the full model are dropped while every counter
+ *    stays byte-identical to DmcSystem (the parity suite asserts
+ *    all eight CacheStats fields).
+ *
+ *  - DMC+FVC cells run CountingDmcFvc (counting_fvc.hh): the full
+ *    transfer protocol over metadata only. Every value-dependent
+ *    decision in the protocol asks "is this value frequent?" about
+ *    a *newest* program-order value, so one shared functional image
+ *    that the engine advances in program order (store applied after
+ *    dispatching each record) answers all of them, and per-system
+ *    data arrays, code arrays, and memory images are elided. See
+ *    DESIGN.md "Single-pass multi-configuration simulation" for the
+ *    full argument, including why the classic inclusion property
+ *    does NOT extend to the combined DMC+FVC system and a fused
+ *    N-way update loop is used instead.
+ *
+ * Determinism: cells are updated in add order on one thread; the
+ * engine holds no global state. Parallelism stays at the
+ * (benchmark, trace) granularity via SweepRunner.
+ */
+
+#ifndef FVC_SIM_MULTI_CONFIG_HH_
+#define FVC_SIM_MULTI_CONFIG_HH_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "core/dmc_fvc_system.hh"
+#include "memmodel/functional_memory.hh"
+#include "sim/batch_encoder.hh"
+#include "sim/chunked_trace.hh"
+#include "sim/counting_fvc.hh"
+#include "util/random.hh"
+
+namespace fvc::sim {
+
+/**
+ * Single-pass engine switch: FVC_SINGLE_PASS=0 falls back to the
+ * per-cell engine (strict-parsed; unset or any nonzero value keeps
+ * the single-pass engine on).
+ */
+bool singlePassEnabled();
+
+/**
+ * Tag-only write-back cache: SetAssocCache's replacement and
+ * accounting with no data arrays or backing memory. Counter-for-
+ * counter identical to DmcSystem over the same access stream.
+ */
+class TagOnlyCache
+{
+  public:
+    explicit TagOnlyCache(const cache::CacheConfig &config,
+                          uint64_t seed = 12345);
+
+    const cache::CacheConfig &config() const { return config_; }
+
+    /** One load/store; mirrors SetAssocCache::access. */
+    void access(trace::Op op, Addr addr);
+
+    /** Account the end-of-run flush (mirrors DmcSystem::flush). */
+    void flush();
+
+    const cache::CacheStats &stats() const { return stats_; }
+
+  private:
+    struct TagLine
+    {
+        uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        uint64_t stamp = 0;
+    };
+
+    cache::CacheConfig config_;
+    std::vector<TagLine> lines_;
+    uint64_t clock_ = 0;
+    util::Rng rng_;
+    cache::CacheStats stats_;
+    unsigned offset_bits_ = 0;
+    unsigned tag_shift_ = 0;
+    uint32_t set_mask_ = 0;
+
+    TagLine &lineAt(uint32_t set, uint32_t way)
+    {
+        return lines_[static_cast<size_t>(set) * config_.assoc + way];
+    }
+    uint32_t victimWay(uint32_t set);
+};
+
+/** The single-pass sweep engine for one (benchmark, trace) pair. */
+class MultiConfigSimulator
+{
+  public:
+    /**
+     * @param trace the shared columnar trace (borrowed; must
+     *              outlive the simulator)
+     * @param initial_image the trace's preload image (borrowed)
+     * @param frequent_values profiled frequent values, most
+     *        frequent first (same list runDmcFvc() consumes)
+     */
+    MultiConfigSimulator(const ChunkedTrace &trace,
+                         const memmodel::FunctionalMemory &initial_image,
+                         std::vector<Word> frequent_values);
+
+    MultiConfigSimulator(const MultiConfigSimulator &) = delete;
+    MultiConfigSimulator &operator=(const MultiConfigSimulator &) =
+        delete;
+
+    /**
+     * Add a bare DMC cell (write-back only: write-through caches
+     * move data on the hit path, which the tag-only model elides).
+     * @return the cell index for stats()/missRatePercent()
+     */
+    size_t addDmc(const cache::CacheConfig &config);
+
+    /** Add a DMC+FVC cell; mirrors harness::runDmcFvc's setup. */
+    size_t addDmcFvc(const cache::CacheConfig &dmc,
+                     const core::FvcConfig &fvc,
+                     core::DmcFvcPolicy policy = {});
+
+    size_t cellCount() const { return cells_.size(); }
+
+    /** Replay the trace once, updating every cell. Call once. */
+    void run();
+
+    /** Post-run combined stats of cell @p i (flush included). */
+    const cache::CacheStats &stats(size_t cell) const;
+
+    /** Shorthand: stats(cell).missRatePercent(). */
+    double missRatePercent(size_t cell) const;
+
+    /** FVC-side stats of a DMC+FVC cell; nullptr for bare DMC. */
+    const core::FvcStats *fvcStats(size_t cell) const;
+
+  private:
+    struct Cell
+    {
+        bool is_fvc;
+        size_t index; // into dmcs_ or systems_
+    };
+
+    /** Systems sharing one encoding (same code_bits). */
+    struct EncodingGroup
+    {
+        BatchEncoder encoder;
+        /** Per-record frequent-value bit for the current chunk. */
+        std::vector<uint64_t> mask;
+
+        explicit EncodingGroup(const core::FrequentValueEncoding &e)
+            : encoder(e)
+        {
+        }
+    };
+
+    const ChunkedTrace &trace_;
+    const memmodel::FunctionalMemory &initial_image_;
+    std::vector<Word> frequent_values_;
+
+    std::vector<Cell> cells_;
+    std::vector<TagOnlyCache> dmcs_;
+    std::vector<std::unique_ptr<CountingDmcFvc>> systems_;
+    /** code_bits of each system, indexing encoding_groups_. */
+    std::vector<unsigned> system_group_;
+    std::map<unsigned, size_t> group_of_bits_;
+    /** deque: growth must not relocate groups (systems hold
+     * pointers to their group's BatchEncoder). */
+    std::deque<EncodingGroup> encoding_groups_;
+
+    /** One program-order image shared by every DMC+FVC cell. */
+    memmodel::FunctionalMemory shared_image_;
+    bool ran_ = false;
+};
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_MULTI_CONFIG_HH_

@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,7 +40,11 @@ namespace {
 std::string
 tempPath(const char *name)
 {
-    return std::string(::testing::TempDir()) + name;
+    // Per-process names: these tests are built into both fvc_tests
+    // and verify_test_ubsan, and a parallel ctest run executes the
+    // two binaries concurrently — fixed paths would race.
+    return std::string(::testing::TempDir()) +
+           std::to_string(::getpid()) + "_" + name;
 }
 
 std::vector<ft::MemRecord>

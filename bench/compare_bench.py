@@ -49,6 +49,36 @@ def load_times(path):
     return times
 
 
+def load_store_state(path):
+    """The fvc_trace_store context of a result file.
+
+    Files recorded before the context existed count as "disabled"
+    (the store did not exist, so it cannot have served the run).
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("fvc_trace_store", "disabled")
+
+
+def check_store_states(base_state, new_state):
+    """Error string when two runs' trace-store states cannot be
+    compared, else None.
+
+    A warm persistent trace store replaces synthetic generation with
+    an mmap; comparing a warm run against a cold or disabled one
+    would credit (or blame) the store for every generation-heavy
+    benchmark. Only like-for-like runs are comparable.
+    """
+    if base_state == new_state:
+        return None
+    return (
+        f"trace-store state mismatch: baseline ran with "
+        f"fvc_trace_store={base_state!r} but new ran with "
+        f"{new_state!r}; rerun both with the same FVC_TRACE_DIR / "
+        f"FVC_TRACE_STORE setup"
+    )
+
+
 def compare(baseline, new, hot, threshold_pct):
     """Return (report_lines, failures) for the two name->time maps."""
     lines = []
@@ -123,6 +153,13 @@ def self_test():
         DEFAULT_HOT, 10.0)
     assert failures == [], failures
 
+    # 6. Mismatched trace-store states refuse the comparison;
+    #    matching states (including both-missing) are fine.
+    assert check_store_states("warm", "cold") is not None
+    assert check_store_states("disabled", "warm") is not None
+    assert check_store_states("warm", "warm") is None
+    assert check_store_states("disabled", "disabled") is None
+
     print("compare_bench.py self-test: all checks passed")
     return 0
 
@@ -149,6 +186,11 @@ def main(argv):
                      "(or use --self-test)")
 
     hot = args.hot if args.hot is not None else DEFAULT_HOT
+    mismatch = check_store_states(load_store_state(args.baseline),
+                                  load_store_state(args.new))
+    if mismatch:
+        print(f"error: {mismatch}", file=sys.stderr)
+        return 1
     baseline = load_times(args.baseline)
     new = load_times(args.new)
     lines, failures = compare(baseline, new, set(hot),

@@ -7,12 +7,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+
 #include "cache/cache_system.hh"
 #include "core/dmc_fvc_system.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
 #include "profiling/value_table.hh"
 #include "sim/batch_encoder.hh"
 #include "sim/multi_config.hh"
+#include "util/logging.hh"
+#include "workload/fingerprint.hh"
 #include "workload/generator.hh"
 
 namespace {
@@ -57,7 +62,7 @@ BM_DmcSimulation(benchmark::State &state)
         benchmark::DoNotOptimize(sys.stats().misses());
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.records.size());
+                            trace.columns.size());
 }
 BENCHMARK(BM_DmcSimulation)->Unit(benchmark::kMillisecond);
 
@@ -77,7 +82,7 @@ BM_DmcFvcSimulation(benchmark::State &state)
         benchmark::DoNotOptimize(sys->stats().misses());
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.records.size());
+                            trace.columns.size());
 }
 BENCHMARK(BM_DmcFvcSimulation)->Unit(benchmark::kMillisecond);
 
@@ -164,7 +169,7 @@ BM_GridSweepPerCell(benchmark::State &state)
         benchmark::DoNotOptimize(sum);
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.records.size() * grid.size());
+                            trace.columns.size() * grid.size());
 }
 BENCHMARK(BM_GridSweepPerCell)->Unit(benchmark::kMillisecond);
 
@@ -198,7 +203,7 @@ BM_GridSweepSinglePass(benchmark::State &state)
         benchmark::DoNotOptimize(sum);
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.records.size() * grid.size());
+                            trace.columns.size() * grid.size());
 }
 BENCHMARK(BM_GridSweepSinglePass)->Unit(benchmark::kMillisecond);
 
@@ -225,16 +230,86 @@ BM_ValueCounting(benchmark::State &state)
     const auto &trace = gccTrace();
     for (auto _ : state) {
         profiling::ValueCounterTable table;
-        for (const auto &rec : trace.records) {
-            if (rec.isAccess())
-                table.add(rec.value);
-        }
+        trace.columns.forEachRecord(
+            [&](const trace::MemRecord &rec) {
+                if (rec.isAccess())
+                    table.add(rec.value);
+            });
         benchmark::DoNotOptimize(table.topK(10));
     }
     state.SetItemsProcessed(state.iterations() *
-                            trace.records.size());
+                            trace.columns.size());
 }
 BENCHMARK(BM_ValueCounting)->Unit(benchmark::kMillisecond);
+
+// --- Persistent trace store -----------------------------------
+//
+// BM_TracePrepareCold is the baseline a warm store must beat: full
+// synthetic generation of the gcc trace. BM_TraceLoad mmap()s a
+// pre-written v3 store file of the *same* trace and rebuilds a
+// zero-copy PreparedTrace (validating every CRC along the way).
+// bench/check_store_speedup.py gates on load being >= 5x faster.
+
+constexpr uint64_t kStoreBenchAccesses = 200000;
+constexpr uint64_t kStoreBenchSeed = 81;
+
+/** A v3 store file of gccTrace(), written once into a private temp
+ * dir (independent of FVC_TRACE_DIR, so the benchmark measures the
+ * store format, not the user's environment). */
+const std::string &
+gccStorePath()
+{
+    static const std::string path = [] {
+        namespace fs = std::filesystem;
+        const auto dir =
+            fs::temp_directory_path() / "fvc-bench-store";
+        std::error_code ec;
+        fs::create_directories(dir, ec);
+        harness::TraceKey key;
+        key.profile = "gcc";
+        key.profile_hash = workload::profileFingerprint(
+            workload::specIntProfile(workload::SpecInt::Gcc126));
+        key.accesses = kStoreBenchAccesses;
+        key.seed = kStoreBenchSeed;
+        key.top_k = 10;
+        const std::string out =
+            (dir / harness::storeFileName(key)).string();
+        auto err = harness::saveTraceFile(out, gccTrace(), key);
+        fvc_assert(!err, "writing bench store file: ",
+                   err->describe());
+        return out;
+    }();
+    return path;
+}
+
+void
+BM_TracePrepareCold(benchmark::State &state)
+{
+    auto profile = workload::specIntProfile(workload::SpecInt::Gcc126);
+    for (auto _ : state) {
+        auto trace = harness::prepareTrace(
+            profile, kStoreBenchAccesses, kStoreBenchSeed);
+        benchmark::DoNotOptimize(trace.columns.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            kStoreBenchAccesses);
+}
+BENCHMARK(BM_TracePrepareCold)->Unit(benchmark::kMillisecond);
+
+void
+BM_TraceLoad(benchmark::State &state)
+{
+    const std::string &path = gccStorePath();
+    for (auto _ : state) {
+        auto loaded = harness::loadTraceFile(path);
+        fvc_assert(loaded.ok(), "bench store load failed: ",
+                   loaded.error().describe());
+        benchmark::DoNotOptimize(loaded.value().columns.size());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            kStoreBenchAccesses);
+}
+BENCHMARK(BM_TraceLoad)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
@@ -251,6 +326,12 @@ main(int argc, char **argv)
 #else
     benchmark::AddCustomContext("fvc_build_type", "debug");
 #endif
+    // Whether a persistent trace store served this run: "disabled",
+    // "cold", or "warm". A warm store turns trace generation into an
+    // mmap, so comparing a warm run against a cold one would report
+    // a phantom regression; compare_bench.py refuses the pair.
+    benchmark::AddCustomContext("fvc_trace_store",
+                                fvc::harness::traceStoreStateName());
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -55,4 +55,9 @@ fi
 
 mv "$tmp" "$out"
 trap - EXIT
-echo "wrote $out"
+
+# Surface the recorded trace-store state: comparisons are only valid
+# between runs with the same state (compare_bench.py enforces this).
+store_state=$(sed -n \
+    's/.*"fvc_trace_store": "\([a-z]*\)".*/\1/p' "$out" | head -n1)
+echo "wrote $out (fvc_trace_store: ${store_state:-unknown})"

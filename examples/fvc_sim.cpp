@@ -145,7 +145,7 @@ loadTraceFile(const std::string &path)
     profiling::AccessProfiler profiler({1});
     trace::MemRecord rec;
     while (reader.next(rec)) {
-        out.records.push_back(rec);
+        out.columns.append(rec);
         profiler.observe(rec);
         if (rec.isStore())
             out.final_image.write(rec.addr, rec.value);
@@ -172,7 +172,7 @@ main(int argc, char **argv)
         : loadTraceFile(opt.trace_file);
 
     std::printf("workload: %s (%zu records)\n", trace.name.c_str(),
-                trace.records.size());
+                trace.columns.size());
     std::printf("top values:");
     for (auto v : trace.frequent_values)
         std::printf(" %s", util::hex32(v).c_str());

@@ -56,12 +56,12 @@ main(int argc, char **argv)
             [&](trace::Addr addr, trace::Word value) {
                 plain.memoryImage().write(addr, value);
             });
-        for (const auto &rec : trace.records) {
+        trace.columns.forEachRecord([&](const trace::MemRecord &rec) {
             if (!rec.isAccess())
-                continue;
+                return;
             auto result = plain.access(rec);
             classifier.access(rec.addr, !result.isHit());
-        }
+        });
         const auto &b = classifier.breakdown();
 
         auto fvc_sys = harness::runDmcFvc(trace, dmc, fvc);

@@ -31,7 +31,7 @@ main()
                               /*top_k=*/10);
 
     std::printf("workload: %s (%zu records, %llu instructions)\n",
-                trace.name.c_str(), trace.records.size(),
+                trace.name.c_str(), trace.columns.size(),
                 static_cast<unsigned long long>(trace.instructions));
     std::printf("top frequently accessed values:");
     for (auto v : trace.frequent_values)

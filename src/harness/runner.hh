@@ -19,14 +19,22 @@
 #include "sim/chunked_trace.hh"
 #include "workload/generator.hh"
 
+namespace fvc::trace {
+class MappedStore;
+} // namespace fvc::trace
+
 namespace fvc::harness {
 
-/** A generated trace held in memory, with its profiling results. */
+/**
+ * A prepared trace with its profiling results. The columns either
+ * own heap storage (freshly generated) or are zero-copy views into
+ * a mapped trace-store file, in which case @c mapping keeps the
+ * file mapped. Move-only, like ChunkedTrace.
+ */
 struct PreparedTrace
 {
     std::string name;
-    std::vector<trace::MemRecord> records;
-    /** The same records, column-split for the single-pass engine. */
+    /** The trace records, column-split (op/addr/value/icount). */
     sim::ChunkedTrace columns;
     /** Top frequently accessed values, most frequent first. */
     std::vector<trace::Word> frequent_values;
@@ -35,6 +43,11 @@ struct PreparedTrace
     /** Memory contents after the whole trace (ground truth). */
     memmodel::FunctionalMemory final_image;
     uint64_t instructions = 0;
+    /** Owner of the mapping behind view-mode columns (or null). */
+    std::shared_ptr<const trace::MappedStore> mapping;
+
+    /** True iff the columns view an mmap()ed store file. */
+    bool mapped() const { return mapping != nullptr; }
 };
 
 /**
@@ -45,11 +58,39 @@ struct PreparedTrace
  * fixes them for the cache experiment; using the same trace for
  * both is the trace-driven equivalent.
  *
+ * Generation is sharded across FVC_GEN_SHARDS threads (default 1:
+ * the classic serial stream); see prepareTraceSharded.
+ *
  * @param top_k how many frequent values to extract
  */
 PreparedTrace prepareTrace(const workload::BenchmarkProfile &profile,
                            uint64_t accesses, uint64_t seed = 1,
                            size_t top_k = 10);
+
+/**
+ * prepareTrace with an explicit shard count and worker bound.
+ *
+ * Shards are independent slices of the access budget (each with a
+ * derived seed, its own address band, and globally-phased value
+ * pools — workload::GenShard) generated concurrently and stitched
+ * in shard order. The result is a pure function of
+ * (profile, accesses, seed, top_k, shards): byte-identical no
+ * matter how many threads generated it. shards == 1 reproduces the
+ * serial stream exactly; shards > 1 is a *different* (equally
+ * valid) trace for the same profile and is keyed separately by the
+ * repository and the persistent store.
+ *
+ * @param shards slice count, in [1, workload::kMaxGenShards]
+ * @param jobs worker-thread bound; 0 means min(shards, FVC_JOBS)
+ */
+PreparedTrace
+prepareTraceSharded(const workload::BenchmarkProfile &profile,
+                    uint64_t accesses, uint64_t seed, size_t top_k,
+                    uint32_t shards, unsigned jobs = 0);
+
+/** FVC_GEN_SHARDS (strict-parsed, clamped to
+ * [1, workload::kMaxGenShards]); 1 when unset. */
+uint32_t genShards();
 
 /** Install the preload image (the memory state the program built
  * before the traced window) into @p image. */
@@ -75,9 +116,18 @@ replayFast(const PreparedTrace &trace, System &system)
                       !std::is_same_v<cache::CacheSystem, System>,
                   "replayFast needs a concrete CacheSystem type");
     installInitialImage(trace, system.System::memoryImage());
-    for (const auto &rec : trace.records) {
-        if (rec.isAccess())
-            system.System::access(rec);
+    // Column replay: works identically over owned and mmap-view
+    // chunks, so a store-loaded trace replays with zero copies.
+    for (const auto &chunk : trace.columns.chunks()) {
+        const size_t n = chunk.size();
+        for (size_t i = 0; i < n; ++i) {
+            const auto op = static_cast<trace::Op>(chunk.op[i]);
+            if (op != trace::Op::Load && op != trace::Op::Store)
+                continue;
+            system.System::access({op, chunk.addr[i],
+                                   chunk.value[i],
+                                   chunk.icount[i]});
+        }
     }
     system.System::flush();
 }

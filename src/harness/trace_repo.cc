@@ -1,15 +1,41 @@
 #include "harness/trace_repo.hh"
 
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <limits>
 #include <utility>
 
 #include "memmodel/functional_memory.hh"
+#include "trace/trace_store.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
+#include "workload/fingerprint.hh"
 
 namespace fvc::harness {
+
+namespace {
+
+/** SplitMix64 finalizer: the store's key/hash mixing step. */
+uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** True iff a warm store is mandatory (FVC_TRACE_EXPECT_WARM):
+ * any trace generation is then a hard failure. Lets the bench
+ * acceptance gate assert "the second run generated nothing". */
+bool
+expectWarm()
+{
+    const char *env = std::getenv("FVC_TRACE_EXPECT_WARM");
+    return env && *env && std::string(env) != "0";
+}
+
+} // namespace
 
 size_t
 TraceKeyHash::operator()(const TraceKey &key) const
@@ -19,10 +45,171 @@ TraceKeyHash::operator()(const TraceKey &key) const
         h ^= std::hash<uint64_t>{}(v) + 0x9e3779b97f4a7c15ull +
              (h << 6) + (h >> 2);
     };
+    mix(key.profile_hash);
     mix(key.accesses);
     mix(key.seed);
     mix(key.top_k);
+    mix(key.gen_shards);
     return h;
+}
+
+StoreMode
+storeMode()
+{
+    if (traceStoreDir().empty())
+        return StoreMode::Disabled;
+    const char *env = std::getenv("FVC_TRACE_STORE");
+    if (!env || !*env)
+        return StoreMode::ReadWrite;
+    const std::string value(env);
+    if (value == "on" || value == "1")
+        return StoreMode::ReadWrite;
+    if (value == "off" || value == "0")
+        return StoreMode::Disabled;
+    if (value == "readonly")
+        return StoreMode::ReadOnly;
+    fvc_warn("ignoring bad FVC_TRACE_STORE value "
+             "(want on/off/readonly): ",
+             env);
+    return StoreMode::ReadWrite;
+}
+
+std::string
+traceStoreDir()
+{
+    const char *env = std::getenv("FVC_TRACE_DIR");
+    return env ? std::string(env) : std::string();
+}
+
+const char *
+traceStoreStateName()
+{
+    if (storeMode() == StoreMode::Disabled)
+        return "disabled";
+    std::error_code ec;
+    std::filesystem::directory_iterator it(traceStoreDir(), ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            if (entry.path().extension() ==
+                trace::kStoreExtension) {
+                return "warm";
+            }
+        }
+    }
+    return "cold";
+}
+
+uint64_t
+storeContentKey(const TraceKey &key)
+{
+    uint64_t h = mix64(key.profile_hash);
+    h = mix64(h ^ key.accesses);
+    h = mix64(h ^ key.seed);
+    h = mix64(h ^ key.top_k);
+    h = mix64(h ^ key.gen_shards);
+    h = mix64(h ^ workload::kGeneratorVersion);
+    return h;
+}
+
+std::string
+storeFileName(const TraceKey &key)
+{
+    std::string name;
+    for (char c : key.profile) {
+        const bool keep = (c >= 'a' && c <= 'z') ||
+                          (c >= 'A' && c <= 'Z') ||
+                          (c >= '0' && c <= '9') || c == '.' ||
+                          c == '_';
+        name.push_back(keep ? c : '_');
+    }
+    return name + "-" + util::hex64(storeContentKey(key)) +
+           trace::kStoreExtension;
+}
+
+std::optional<util::Error>
+saveTraceFile(const std::string &path, const PreparedTrace &trace,
+              const TraceKey &key)
+{
+    std::vector<trace::StoreChunkView> chunks;
+    chunks.reserve(trace.columns.chunks().size());
+    for (const auto &chunk : trace.columns.chunks()) {
+        trace::StoreChunkView view;
+        view.icount = chunk.icount.data();
+        view.addr = chunk.addr.data();
+        view.value = chunk.value.data();
+        view.op = chunk.op.data();
+        view.records = static_cast<uint32_t>(chunk.size());
+        chunks.push_back(view);
+    }
+
+    trace::StoreMeta meta;
+    meta.name = trace.name;
+    meta.instruction_count = trace.instructions;
+    meta.content_key = storeContentKey(key);
+    meta.profile_hash = key.profile_hash;
+    meta.accesses = key.accesses;
+    meta.seed = key.seed;
+    meta.top_k = static_cast<uint32_t>(key.top_k);
+    meta.generator_version = workload::kGeneratorVersion;
+    meta.gen_shards = key.gen_shards;
+    meta.chunk_records = sim::kChunkRecords;
+
+    const std::vector<uint8_t> initial =
+        trace.initial_image.serialize();
+    const std::vector<uint8_t> final_image =
+        trace.final_image.serialize();
+    return trace::writeStore(path, meta, chunks,
+                             trace.frequent_values, initial,
+                             final_image);
+}
+
+util::Expected<PreparedTrace>
+loadTraceFile(const std::string &path)
+{
+    auto opened = trace::MappedStore::open(path);
+    if (!opened)
+        return opened.error();
+    std::shared_ptr<const trace::MappedStore> store =
+        opened.value();
+    const trace::StoreHeader &header = store->header();
+
+    if (header.chunk_records != sim::kChunkRecords) {
+        return util::Error{util::ErrorCode::Format,
+                           "store chunk geometry does not match "
+                           "this build",
+                           path};
+    }
+
+    PreparedTrace out;
+    out.name = header.name;
+    out.instructions = header.instruction_count;
+    out.frequent_values.assign(store->frequentValues().begin(),
+                               store->frequentValues().end());
+
+    auto initial = memmodel::FunctionalMemory::deserialize(
+        store->initialImage().data(),
+        store->initialImage().size());
+    if (!initial) {
+        util::Error err = initial.error();
+        err.context = path;
+        return err;
+    }
+    auto final_image = memmodel::FunctionalMemory::deserialize(
+        store->finalImage().data(), store->finalImage().size());
+    if (!final_image) {
+        util::Error err = final_image.error();
+        err.context = path;
+        return err;
+    }
+    out.initial_image = std::move(initial.value());
+    out.final_image = std::move(final_image.value());
+
+    for (const auto &chunk : store->chunks()) {
+        out.columns.appendView(chunk.addr, chunk.value, chunk.op,
+                               chunk.icount, chunk.records);
+    }
+    out.mapping = std::move(store);
+    return out;
 }
 
 size_t
@@ -43,8 +230,11 @@ TraceRepository::capBytes()
 size_t
 TraceRepository::traceBytes(const PreparedTrace &trace)
 {
+    // memoryBytes() reports owned column storage only: a mapped
+    // trace's columns live in the kernel page cache, shared across
+    // processes and reclaimable, so they do not count against the
+    // repository's heap cap.
     size_t bytes =
-        trace.records.capacity() * sizeof(trace::MemRecord) +
         trace.columns.memoryBytes() +
         trace.frequent_values.capacity() * sizeof(trace::Word);
     bytes += (trace.initial_image.pageCount() +
@@ -59,13 +249,23 @@ TraceRepository::enforceCapLocked(const TraceKey &keep)
     const size_t cap = capBytes();
     while (total_bytes_ > cap) {
         auto victim = traces_.end();
-        for (auto it = traces_.begin(); it != traces_.end(); ++it) {
-            if (!it->second.ready || it->first == keep)
-                continue;
-            if (victim == traces_.end() ||
-                it->second.last_use < victim->second.last_use) {
-                victim = it;
+        // Prefer heap-resident victims: evicting an mmap view frees
+        // almost nothing yet forfeits the zero-copy warm hit.
+        for (bool allow_mapped : {false, true}) {
+            for (auto it = traces_.begin(); it != traces_.end();
+                 ++it) {
+                if (!it->second.ready || it->first == keep)
+                    continue;
+                if (it->second.mapped && !allow_mapped)
+                    continue;
+                if (victim == traces_.end() ||
+                    it->second.last_use <
+                        victim->second.last_use) {
+                    victim = it;
+                }
             }
+            if (victim != traces_.end())
+                break;
         }
         // Nothing evictable (all in flight, or only the trace that
         // just landed remains): an over-cap single trace stays
@@ -79,10 +279,64 @@ TraceRepository::enforceCapLocked(const TraceKey &keep)
 }
 
 TraceRepository::TracePtr
+TraceRepository::produce(const workload::BenchmarkProfile &profile,
+                         const TraceKey &key)
+{
+    const StoreMode mode = storeMode();
+    std::string path;
+    if (mode != StoreMode::Disabled) {
+        path = (std::filesystem::path(traceStoreDir()) /
+                storeFileName(key))
+                   .string();
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            auto loaded = loadTraceFile(path);
+            if (loaded.ok() &&
+                loaded.value().mapping->header().content_key ==
+                    storeContentKey(key)) {
+                store_hits_.fetch_add(1);
+                return std::make_shared<const PreparedTrace>(
+                    std::move(loaded.value()));
+            }
+            // A bad store file is a cache miss, not a failure: warn
+            // and regenerate (ReadWrite mode then heals the file).
+            fvc_warn("trace store file unusable, regenerating: ",
+                     loaded.ok()
+                         ? "provenance mismatch [" + path + "]"
+                         : loaded.error().describe());
+        }
+    }
+
+    if (expectWarm()) {
+        fvc_fatal("FVC_TRACE_EXPECT_WARM is set but trace '",
+                  key.profile, "' (accesses=", key.accesses,
+                  ", seed=", key.seed,
+                  ") was not served from the store");
+    }
+    generations_.fetch_add(1);
+    auto trace = std::make_shared<const PreparedTrace>(
+        prepareTraceSharded(profile, key.accesses, key.seed,
+                            key.top_k, key.gen_shards));
+
+    if (mode == StoreMode::ReadWrite) {
+        std::error_code ec;
+        std::filesystem::create_directories(traceStoreDir(), ec);
+        if (auto err = saveTraceFile(path, *trace, key)) {
+            fvc_warn("trace store write failed: ",
+                     err->describe());
+        } else {
+            store_writes_.fetch_add(1);
+        }
+    }
+    return trace;
+}
+
+TraceRepository::TracePtr
 TraceRepository::get(const workload::BenchmarkProfile &profile,
                      uint64_t accesses, uint64_t seed, size_t top_k)
 {
-    TraceKey key{profile.name, accesses, seed, top_k};
+    TraceKey key{profile.name, workload::profileFingerprint(profile),
+                 accesses, seed, top_k, genShards()};
 
     std::promise<TracePtr> promise;
     std::shared_future<TracePtr> future;
@@ -106,11 +360,11 @@ TraceRepository::get(const workload::BenchmarkProfile &profile,
     if (!producer)
         return future.get();
 
-    // Generate outside the lock so other keys proceed in parallel.
+    // Produce outside the lock so other keys proceed in parallel.
     try {
-        auto trace = std::make_shared<const PreparedTrace>(
-            prepareTrace(profile, accesses, seed, top_k));
+        TracePtr trace = produce(profile, key);
         const size_t bytes = traceBytes(*trace);
+        const bool mapped = trace->mapped();
         promise.set_value(std::move(trace));
         std::lock_guard lock(mutex_);
         auto it = traces_.find(key);
@@ -119,6 +373,7 @@ TraceRepository::get(const workload::BenchmarkProfile &profile,
         if (it != traces_.end()) {
             it->second.ready = true;
             it->second.bytes = bytes;
+            it->second.mapped = mapped;
             total_bytes_ += bytes;
             enforceCapLocked(key);
         }
@@ -151,6 +406,24 @@ TraceRepository::evictions() const
 {
     std::lock_guard lock(mutex_);
     return evictions_;
+}
+
+uint64_t
+TraceRepository::generations() const
+{
+    return generations_.load();
+}
+
+uint64_t
+TraceRepository::storeHits() const
+{
+    return store_hits_.load();
+}
+
+uint64_t
+TraceRepository::storeWrites() const
+{
+    return store_writes_.load();
 }
 
 void

@@ -24,8 +24,10 @@
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "trace/record.hh"
+#include "util/error.hh"
 
 namespace fvc::memmodel {
 
@@ -122,6 +124,29 @@ class FunctionalMemory
     /** Deep-compare two memories over interesting words. */
     static bool sameInterestingContents(const FunctionalMemory &a,
                                         const FunctionalMemory &b);
+
+    /**
+     * Serialize the full page set (data + referenced + live bits)
+     * to a flat byte image: u64 page count, then pages sorted by
+     * page number. Deterministic — equal memories serialize to
+     * equal bytes. Used by the persistent trace store
+     * (trace/trace_store.hh); host-endian like the rest of the
+     * store format.
+     */
+    std::vector<uint8_t> serialize() const;
+
+    /** Inverse of serialize(); structured errors on malformed
+     * input (never asserts — store files are external input). */
+    static util::Expected<FunctionalMemory>
+    deserialize(const uint8_t *data, size_t bytes);
+
+    /**
+     * Merge @p other's pages into this memory. Page sets must be
+     * disjoint (asserted) — the sharded trace generator gives each
+     * shard its own address band, so stitching images is a plain
+     * union.
+     */
+    void mergeDisjointFrom(const FunctionalMemory &other);
 
   private:
     std::unordered_map<uint32_t, std::unique_ptr<Page>> pages_;

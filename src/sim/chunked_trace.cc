@@ -7,17 +7,29 @@ namespace fvc::sim {
 void
 ChunkedTrace::append(const trace::MemRecord &rec)
 {
-    if (chunks_.empty() || chunks_.back().size() == kChunkRecords) {
-        TraceChunk chunk;
-        chunk.addr.reserve(kChunkRecords);
-        chunk.value.reserve(kChunkRecords);
-        chunk.op.reserve(kChunkRecords);
-        chunks_.push_back(std::move(chunk));
+    fvc_assert(owned_.size() == chunks_.size(),
+               "append() on a view-mode ChunkedTrace");
+    if (owned_.empty() || owned_.back()->addr.size() == kChunkRecords) {
+        auto storage = std::make_unique<Storage>();
+        storage->addr.reserve(kChunkRecords);
+        storage->value.reserve(kChunkRecords);
+        storage->op.reserve(kChunkRecords);
+        storage->icount.reserve(kChunkRecords);
+        owned_.push_back(std::move(storage));
+        chunks_.emplace_back();
     }
-    TraceChunk &tail = chunks_.back();
+    Storage &tail = *owned_.back();
     tail.addr.push_back(rec.addr);
     tail.value.push_back(rec.value);
     tail.op.push_back(static_cast<uint8_t>(rec.op));
+    tail.icount.push_back(rec.icount);
+    // Re-publish the tail spans: data() is reserve-stable, only the
+    // length grows.
+    TraceChunk &chunk = chunks_.back();
+    chunk.addr = {tail.addr.data(), tail.addr.size()};
+    chunk.value = {tail.value.data(), tail.value.size()};
+    chunk.op = {tail.op.data(), tail.op.size()};
+    chunk.icount = {tail.icount.data(), tail.icount.size()};
     ++size_;
 }
 
@@ -25,20 +37,41 @@ ChunkedTrace
 ChunkedTrace::fromRecords(const std::vector<trace::MemRecord> &records)
 {
     ChunkedTrace out;
+    out.owned_.reserve(records.size() / kChunkRecords + 1);
     out.chunks_.reserve(records.size() / kChunkRecords + 1);
     for (const auto &rec : records)
         out.append(rec);
     return out;
 }
 
+void
+ChunkedTrace::appendView(const Addr *addr, const Word *value,
+                         const uint8_t *op, const uint64_t *icount,
+                         size_t records)
+{
+    fvc_assert(owned_.empty(),
+               "appendView() on an owning ChunkedTrace");
+    fvc_assert(chunks_.empty() ||
+                   chunks_.back().size() == kChunkRecords,
+               "view chunks must be full except the last");
+    TraceChunk chunk;
+    chunk.addr = {addr, records};
+    chunk.value = {value, records};
+    chunk.op = {op, records};
+    chunk.icount = {icount, records};
+    chunks_.push_back(chunk);
+    size_ += records;
+}
+
 size_t
 ChunkedTrace::memoryBytes() const
 {
     size_t bytes = 0;
-    for (const auto &chunk : chunks_) {
-        bytes += chunk.addr.capacity() * sizeof(Addr) +
-                 chunk.value.capacity() * sizeof(Word) +
-                 chunk.op.capacity() * sizeof(uint8_t);
+    for (const auto &storage : owned_) {
+        bytes += storage->addr.capacity() * sizeof(Addr) +
+                 storage->value.capacity() * sizeof(Word) +
+                 storage->op.capacity() * sizeof(uint8_t) +
+                 storage->icount.capacity() * sizeof(uint64_t);
     }
     return bytes;
 }
@@ -53,8 +86,19 @@ ChunkedTrace::record(size_t i) const
     rec.op = static_cast<trace::Op>(chunk.op[off]);
     rec.addr = chunk.addr[off];
     rec.value = chunk.value[off];
-    rec.icount = 0;
+    rec.icount = chunk.icount[off];
     return rec;
+}
+
+std::vector<trace::MemRecord>
+ChunkedTrace::materializeRecords() const
+{
+    std::vector<trace::MemRecord> out;
+    out.reserve(size_);
+    forEachRecord([&out](const trace::MemRecord &rec) {
+        out.push_back(rec);
+    });
+    return out;
 }
 
 } // namespace fvc::sim

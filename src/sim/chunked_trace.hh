@@ -1,23 +1,32 @@
 /**
  * @file
- * ChunkedTrace: a structure-of-arrays, chunked in-memory trace.
+ * ChunkedTrace: a structure-of-arrays, chunked trace.
  *
  * The sweep benches replay one trace through dozens of cache
  * configurations. The array-of-structs MemRecord layout streams 24
  * bytes per record (op + padding + addr + value + icount) through
  * the replay loop even though the simulators consume only op, addr,
- * and value. ChunkedTrace stores those three as separate columns in
+ * and value. ChunkedTrace stores the columns separately in
  * fixed-size chunks: a column scan touches 9 bytes per record, is
  * cache-line dense, and the value column can be fed to BatchEncoder
  * eight words at a time. Chunks keep any one allocation modest and
  * give the single-pass engine (MultiConfigSimulator) a natural
  * blocking unit for precomputed per-chunk data.
+ *
+ * Columns are exposed as read-only spans. A trace either *owns* its
+ * columns (append/fromRecords grow heap storage behind the spans) or
+ * is a zero-copy *view* over externally owned column arrays —
+ * typically an mmap()ed trace-store file (trace/trace_store.hh).
+ * Consumers cannot tell the difference: MultiConfigSimulator,
+ * BatchEncoder, and the replay paths read the same spans either way.
  */
 
 #ifndef FVC_SIM_CHUNKED_TRACE_HH_
 #define FVC_SIM_CHUNKED_TRACE_HH_
 
 #include <cstddef>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "trace/record.hh"
@@ -27,16 +36,22 @@ namespace fvc::sim {
 using trace::Addr;
 using trace::Word;
 
-/** Records per chunk (64K; a full chunk's columns are ~576 KB). */
+/** Records per chunk (64K; a full chunk's columns are ~1.1 MB). */
 inline constexpr size_t kChunkRecords = 64 * 1024;
 
-/** One block of column data. All columns have equal length. */
+/**
+ * One block of column data. All columns have equal length. The
+ * spans point either into the owning ChunkedTrace's heap storage or
+ * into an external mapping (view mode).
+ */
 struct TraceChunk
 {
-    std::vector<Addr> addr;
-    std::vector<Word> value;
+    std::span<const Addr> addr;
+    std::span<const Word> value;
     /** Raw trace::Op values (uint8_t to keep the column dense). */
-    std::vector<uint8_t> op;
+    std::span<const uint8_t> op;
+    /** Instruction count at each record (replay/serialization). */
+    std::span<const uint64_t> icount;
 
     size_t size() const { return addr.size(); }
 };
@@ -47,12 +62,33 @@ class ChunkedTrace
   public:
     ChunkedTrace() = default;
 
-    /** Append one record (grows the tail chunk). */
+    /**
+     * Move-only: chunk spans reference the owning trace's storage,
+     * so a copy would alias the source's heap. Storage blocks are
+     * heap-stable, so moving does not invalidate the spans.
+     */
+    ChunkedTrace(ChunkedTrace &&) = default;
+    ChunkedTrace &operator=(ChunkedTrace &&) = default;
+    ChunkedTrace(const ChunkedTrace &) = delete;
+    ChunkedTrace &operator=(const ChunkedTrace &) = delete;
+
+    /** Append one record (grows the owned tail chunk). */
     void append(const trace::MemRecord &rec);
 
     /** Column-split an existing record vector. */
     static ChunkedTrace
     fromRecords(const std::vector<trace::MemRecord> &records);
+
+    /**
+     * Append a zero-copy view chunk over externally owned columns
+     * of @p records entries each. The caller guarantees the arrays
+     * outlive this trace and that every chunk but the last holds
+     * exactly kChunkRecords records (the record(i) indexing
+     * invariant). Must not be mixed with append() on one trace.
+     */
+    void appendView(const Addr *addr, const Word *value,
+                    const uint8_t *op, const uint64_t *icount,
+                    size_t records);
 
     const std::vector<TraceChunk> &chunks() const { return chunks_; }
 
@@ -61,17 +97,56 @@ class ChunkedTrace
 
     bool empty() const { return size_ == 0; }
 
-    /** Heap footprint of the columns (capacity, in bytes). */
+    /** True iff the columns live in external storage (mmap view). */
+    bool isView() const { return !chunks_.empty() && owned_.empty(); }
+
+    /**
+     * Heap footprint of the columns (capacity, in bytes). A view
+     * trace owns nothing and reports 0 — the mapping's pages are
+     * the kernel's to cache, not this process's heap.
+     */
     size_t memoryBytes() const;
 
     /**
-     * Reassemble record @p i (icount is not stored and comes back
-     * as 0; the cache simulators never read it). Test/debug aid —
-     * hot paths iterate chunks() directly.
+     * Reassemble record @p i. Test/debug aid — hot paths iterate
+     * chunks() directly.
      */
     trace::MemRecord record(size_t i) const;
 
+    /** Reassemble the whole trace as an AoS vector (tests/tools). */
+    std::vector<trace::MemRecord> materializeRecords() const;
+
+    /** Call @p fn(const trace::MemRecord &) for every record. */
+    template <typename Fn>
+    void
+    forEachRecord(Fn &&fn) const
+    {
+        for (const TraceChunk &chunk : chunks_) {
+            const size_t n = chunk.size();
+            for (size_t i = 0; i < n; ++i) {
+                fn(trace::MemRecord{
+                    static_cast<trace::Op>(chunk.op[i]),
+                    chunk.addr[i], chunk.value[i],
+                    chunk.icount[i]});
+            }
+        }
+    }
+
   private:
+    /**
+     * Owned column storage for one chunk. Vectors are reserved to
+     * exactly kChunkRecords up front so their data() never moves
+     * while the chunk grows — the published spans stay valid.
+     */
+    struct Storage
+    {
+        std::vector<Addr> addr;
+        std::vector<Word> value;
+        std::vector<uint8_t> op;
+        std::vector<uint64_t> icount;
+    };
+
+    std::vector<std::unique_ptr<Storage>> owned_;
     std::vector<TraceChunk> chunks_;
     size_t size_ = 0;
 };

@@ -1,0 +1,87 @@
+#include "util/mmap_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace fvc::util {
+
+Expected<MappedFile>
+MappedFile::open(const std::string &path)
+{
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        return Error{ErrorCode::Io,
+                     std::string("open failed: ") +
+                         std::strerror(errno),
+                     path};
+    }
+
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        Error err{ErrorCode::Io,
+                  std::string("fstat failed: ") +
+                      std::strerror(errno),
+                  path};
+        ::close(fd);
+        return err;
+    }
+    if (st.st_size == 0) {
+        ::close(fd);
+        return Error{ErrorCode::Truncated, "file is empty", path};
+    }
+
+    void *mapped = ::mmap(nullptr, static_cast<size_t>(st.st_size),
+                          PROT_READ, MAP_PRIVATE, fd, 0);
+    // The mapping keeps its own reference to the file; the
+    // descriptor is no longer needed either way.
+    ::close(fd);
+    if (mapped == MAP_FAILED) {
+        return Error{ErrorCode::Io,
+                     std::string("mmap failed: ") +
+                         std::strerror(errno),
+                     path};
+    }
+
+    MappedFile out;
+    out.data_ = static_cast<const uint8_t *>(mapped);
+    out.size_ = static_cast<size_t>(st.st_size);
+    out.path_ = path;
+    return out;
+}
+
+MappedFile::~MappedFile()
+{
+    if (data_)
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+}
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(other.data_), size_(other.size_),
+      path_(std::move(other.path_))
+{
+    other.data_ = nullptr;
+    other.size_ = 0;
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    if (data_)
+        ::munmap(const_cast<uint8_t *>(data_), size_);
+    data_ = other.data_;
+    size_ = other.size_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    return *this;
+}
+
+} // namespace fvc::util

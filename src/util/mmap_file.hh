@@ -1,0 +1,52 @@
+/**
+ * @file
+ * MappedFile: a read-only memory-mapped file (RAII).
+ *
+ * The persistent trace store serves warm hits by mapping the store
+ * file and pointing span-backed trace columns straight into the
+ * mapping — no read() copies, no per-chunk allocations. MappedFile
+ * owns the mapping: consumers keep a shared_ptr to it for as long as
+ * any view into the bytes is live.
+ */
+
+#ifndef FVC_UTIL_MMAP_FILE_HH_
+#define FVC_UTIL_MMAP_FILE_HH_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/error.hh"
+
+namespace fvc::util {
+
+/** A whole file mapped PROT_READ/MAP_PRIVATE. Move-only. */
+class MappedFile
+{
+  public:
+    /** Map @p path read-only. Io error on open/stat/mmap failure. */
+    static Expected<MappedFile> open(const std::string &path);
+
+    MappedFile() = default;
+    ~MappedFile();
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const uint8_t *data() const { return data_; }
+    size_t size() const { return size_; }
+    const std::string &path() const { return path_; }
+
+    bool valid() const { return data_ != nullptr; }
+
+  private:
+    const uint8_t *data_ = nullptr;
+    size_t size_ = 0;
+    std::string path_;
+};
+
+} // namespace fvc::util
+
+#endif // FVC_UTIL_MMAP_FILE_HH_

@@ -31,6 +31,15 @@ hex32(uint32_t value)
 }
 
 std::string
+hex64(uint64_t value)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buf;
+}
+
+std::string
 fixedStr(double value, int places)
 {
     char buf[64];

@@ -25,6 +25,10 @@ std::optional<uint64_t> parseUint(const std::string &s);
 /** Format a 32-bit value as lowercase hex without leading zeros. */
 std::string hex32(uint32_t value);
 
+/** Format a 64-bit value as 16 lowercase hex digits (zero-padded:
+ * used in content-addressed file names, which must be fixed-width). */
+std::string hex64(uint64_t value);
+
 /** Format with fixed decimal places, e.g. fixedStr(1.2345, 2) == "1.23". */
 std::string fixedStr(double value, int places);
 

@@ -1,0 +1,148 @@
+#include "workload/fingerprint.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace fvc::workload {
+
+namespace {
+
+/** Incremental FNV-1a/64. */
+class Fnv
+{
+  public:
+    void
+    bytes(const void *data, size_t len)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < len; ++i) {
+            hash_ ^= p[i];
+            hash_ *= 0x100000001b3ull;
+        }
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        bytes(&v, sizeof(v));
+    }
+
+    /** Hash the bit pattern: distinguishes -0.0/0.0 and any NaN
+     * payloads, and avoids float comparisons entirely. */
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<uint64_t>(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    uint64_t value() const { return hash_; }
+
+  private:
+    uint64_t hash_ = 0xcbf29ce484222325ull;
+};
+
+void
+hashPool(Fnv &h, const ValuePoolSpec &pool)
+{
+    h.u64(pool.frequent.size());
+    for (const auto &wv : pool.frequent) {
+        h.u64(wv.value);
+        h.f64(wv.weight);
+    }
+    h.f64(pool.frequent_mass);
+    h.u64(pool.tails.size());
+    for (const auto &tail : pool.tails) {
+        h.u64(static_cast<uint64_t>(tail.kind));
+        h.f64(tail.weight);
+        h.u64(tail.base);
+        h.u64(tail.span);
+    }
+}
+
+void
+hashKernel(Fnv &h, const KernelSpec &spec)
+{
+    h.u64(spec.params.index());
+    std::visit(
+        [&h](const auto &params) {
+            using T = std::decay_t<decltype(params)>;
+            if constexpr (std::is_same_v<T, HotSpotParams>) {
+                h.u64(params.base);
+                h.u64(params.words);
+                h.f64(params.zipf_s);
+                h.f64(params.write_fraction);
+                h.u64(params.burst);
+                h.u64(params.object_words);
+                h.f64(params.init_frequent_bias);
+            } else if constexpr (std::is_same_v<T, ScanParams>) {
+                h.u64(params.base);
+                h.u64(params.words);
+                h.u64(params.stride_words);
+                h.f64(params.write_fraction);
+                h.u64(params.burst);
+                h.f64(params.frequent_share);
+            } else if constexpr (std::is_same_v<T, ConflictParams>) {
+                h.u64(params.base);
+                h.u64(params.block_words);
+                h.u64(params.num_blocks);
+                h.u64(params.stride_bytes);
+                h.f64(params.write_fraction);
+                h.u64(params.touches);
+                h.f64(params.frequent_bias);
+            } else if constexpr (std::is_same_v<T,
+                                                PointerChaseParams>) {
+                h.u64(params.heap_base);
+                h.u64(params.num_nodes);
+                h.u64(params.node_words);
+                h.u64(params.hops);
+                h.f64(params.write_fraction);
+            } else if constexpr (std::is_same_v<T, StackParams>) {
+                h.u64(params.stack_top);
+                h.u64(params.frame_words);
+                h.u64(params.max_depth);
+                h.f64(params.push_bias);
+                h.u64(params.touches);
+                h.f64(params.write_fraction);
+                h.f64(params.init_frequent_bias);
+            } else {
+                static_assert(
+                    std::is_same_v<T, CounterStreamParams>);
+                h.u64(params.base);
+                h.u64(params.words);
+                h.f64(params.write_fraction);
+                h.u64(params.burst);
+            }
+        },
+        spec.params);
+    h.f64(spec.weight);
+}
+
+} // namespace
+
+uint64_t
+profileFingerprint(const BenchmarkProfile &profile)
+{
+    Fnv h;
+    h.str(profile.name);
+    h.u64(profile.kernels.size());
+    for (const auto &kernel : profile.kernels)
+        hashKernel(h, kernel);
+    h.u64(profile.phases.size());
+    for (const auto &phase : profile.phases) {
+        h.f64(phase.until);
+        hashPool(h, phase.pool);
+    }
+    h.f64(profile.mutate_fraction);
+    h.f64(profile.instructions_per_access);
+    h.u64(profile.default_accesses);
+    return h.value();
+}
+
+} // namespace fvc::workload

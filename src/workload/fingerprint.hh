@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Content fingerprint of a BenchmarkProfile.
+ *
+ * TraceRepository historically keyed cached traces by the profile
+ * *name*, so two profiles sharing a name (custom kernels, input-set
+ * variants) could alias one cached trace. profileFingerprint()
+ * hashes everything trace generation depends on — kernels and their
+ * parameters, phase boundaries, value pools, rates — so the
+ * in-memory memoization key and the on-disk trace-store key both
+ * distinguish profiles by content, not by label.
+ */
+
+#ifndef FVC_WORKLOAD_FINGERPRINT_HH_
+#define FVC_WORKLOAD_FINGERPRINT_HH_
+
+#include <cstdint>
+
+#include "workload/profile.hh"
+
+namespace fvc::workload {
+
+/**
+ * 64-bit FNV-1a hash over a canonical serialization of @p profile.
+ * Equal profiles (including the name) hash equal; any change to a
+ * generation-relevant field changes the fingerprint.
+ */
+uint64_t profileFingerprint(const BenchmarkProfile &profile);
+
+/**
+ * Version of the trace generator's algorithm. Bump whenever the
+ * byte stream produced for a fixed (profile, accesses, seed)
+ * changes, so persisted trace-store files from older generators are
+ * never served for the new definition.
+ */
+inline constexpr uint32_t kGeneratorVersion = 2;
+
+} // namespace fvc::workload
+
+#endif // FVC_WORKLOAD_FINGERPRINT_HH_

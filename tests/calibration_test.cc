@@ -110,12 +110,12 @@ TEST_P(CalibrationTest, MissTypeDominance)
         [&](ft::Addr addr, ft::Word value) {
             sys.memoryImage().write(addr, value);
         });
-    for (const auto &rec : trace.records) {
+    trace.columns.forEachRecord([&](const ft::MemRecord &rec) {
         if (!rec.isAccess())
-            continue;
+            return;
         auto result = sys.access(rec);
         classifier.access(rec.addr, !result.isHit());
-    }
+    });
     const auto &b = classifier.breakdown();
     ASSERT_GT(b.total(), 0u) << profile.name;
     double conflict_share = static_cast<double>(b.conflict) /

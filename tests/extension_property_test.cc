@@ -31,7 +31,7 @@ checkedReplay(const fh::PreparedTrace &trace, fc::CacheSystem &sys)
         [&](ft::Addr addr, ft::Word value) {
             sys.memoryImage().write(addr, value);
         });
-    for (const auto &rec : trace.records) {
+    for (const auto &rec : trace.columns.materializeRecords()) {
         if (!rec.isAccess())
             continue;
         auto result = sys.access(rec);

@@ -19,7 +19,7 @@ TEST(RunnerTest, PrepareTraceProfilesValues)
     auto profile = fw::specIntProfile(fw::SpecInt::Gcc126);
     auto trace = fh::prepareTrace(profile, 20000, 3, 10);
     EXPECT_EQ(trace.name, "126.gcc");
-    EXPECT_GE(trace.records.size(), 20000u);
+    EXPECT_GE(trace.columns.size(), 20000u);
     EXPECT_EQ(trace.frequent_values.size(), 10u);
     EXPECT_GT(trace.instructions, 20000u);
     // 0 dominates every integer workload's accessed values.

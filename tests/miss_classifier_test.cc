@@ -86,12 +86,13 @@ TEST(MissClassifierTest, M88ksimIsConflictDominated)
             [&](ft::Addr addr, ft::Word value) {
                 sys.memoryImage().write(addr, value);
             });
-        for (const auto &rec : trace.records) {
-            if (!rec.isAccess())
-                continue;
-            auto result = sys.access(rec);
-            mc.access(rec.addr, !result.isHit());
-        }
+        trace.columns.forEachRecord(
+            [&](const ft::MemRecord &rec) {
+                if (!rec.isAccess())
+                    return;
+                auto result = sys.access(rec);
+                mc.access(rec.addr, !result.isHit());
+            });
         return mc.breakdown();
     };
 

@@ -320,7 +320,7 @@ TEST(TraceRepositoryTest, MemoizesByKey)
     repo.clear();
     EXPECT_EQ(repo.size(), 0u);
     // Outstanding pointers survive the clear; re-fetch regenerates.
-    EXPECT_GE(a->records.size(), 5000u);
+    EXPECT_GE(a->columns.size(), 5000u);
     auto e = repo.get(profile, 5000, 11);
     EXPECT_NE(a.get(), e.get());
 }

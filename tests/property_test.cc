@@ -31,7 +31,7 @@ checkedReplay(const fh::PreparedTrace &trace,
         [&](ft::Addr addr, ft::Word value) {
             sys.memoryImage().write(addr, value);
         });
-    for (const auto &rec : trace.records) {
+    for (const auto &rec : trace.columns.materializeRecords()) {
         if (!rec.isAccess())
             continue;
         auto result = sys.access(rec);
@@ -119,7 +119,7 @@ TEST_P(WorkloadPropertyTest, FvcNeverLosesReadOnlyHits)
         cfg, fvc,
         co::FrequentValueEncoding(trace.frequent_values, 3));
 
-    for (const auto &rec : trace.records) {
+    for (const auto &rec : trace.columns.materializeRecords()) {
         if (!rec.isLoad())
             continue;
         ft::MemRecord load = rec;
@@ -143,7 +143,7 @@ TEST_P(WorkloadPropertyTest, ExclusivityHoldsThroughout)
     co::DmcFvcSystem sys(
         dmc, fvc,
         co::FrequentValueEncoding(trace.frequent_values, 3));
-    for (const auto &rec : trace.records) {
+    for (const auto &rec : trace.columns.materializeRecords()) {
         if (!rec.isAccess())
             continue;
         sys.access(rec);

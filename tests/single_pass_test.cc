@@ -99,10 +99,11 @@ TEST(SinglePass, TagOnlyCacheMatchesDmcSystem)
         harness::replayFast(trace, reference);
 
         sim::TagOnlyCache tag(config);
-        for (const auto &rec : trace.records) {
-            if (rec.isAccess())
-                tag.access(rec.op, rec.addr);
-        }
+        trace.columns.forEachRecord(
+            [&](const trace::MemRecord &rec) {
+                if (rec.isAccess())
+                    tag.access(rec.op, rec.addr);
+            });
         tag.flush();
 
         expectStatsEqual(reference.stats(), tag.stats(),
@@ -351,7 +352,8 @@ TEST(SinglePass, TraceRepoEvictionRegeneratesIdentically)
     // object with byte-identical contents.
     auto second = repo.get(go, 50000, 9);
     EXPECT_NE(first.get(), second.get());
-    EXPECT_EQ(first->records, second->records);
+    EXPECT_EQ(first->columns.materializeRecords(),
+              second->columns.materializeRecords());
     EXPECT_EQ(first->frequent_values, second->frequent_values);
     EXPECT_EQ(first->instructions, second->instructions);
     EXPECT_EQ(first->columns.size(), second->columns.size());

@@ -448,10 +448,11 @@ TEST(ShadowCheckerTest, PassesOnEveryBenchmarkProfile)
     for (fw::SpecInt bench : fw::allSpecInt()) {
         auto profile = fw::specIntProfile(bench);
         auto trace = fh::prepareTrace(profile, 20000, 7);
+        auto records = trace.columns.materializeRecords();
         auto sys = makeSystem(trace);
         fv::ShadowChecker checker;
         auto report = checker.checkReplay(
-            trace.records, trace.initial_image, *sys);
+            records, trace.initial_image, *sys);
         checker.checkEncoding(
             co::FrequentValueEncoding(trace.frequent_values, 3));
         EXPECT_TRUE(report.passed())
@@ -466,6 +467,7 @@ TEST(ShadowCheckerTest, CatchesInjectorCorruptedFvcState)
 {
     auto profile = fw::specIntProfile(fw::SpecInt::Gcc126);
     auto trace = fh::prepareTrace(profile, 20000, 7);
+    auto records = trace.columns.materializeRecords();
     auto sys = makeSystem(trace);
     auto spec = fv::FaultSpec::parse("seed=13").value();
     fv::FaultInjector injector(spec);
@@ -473,9 +475,9 @@ TEST(ShadowCheckerTest, CatchesInjectorCorruptedFvcState)
     uint64_t discarded = 0;
     fv::ShadowChecker checker;
     auto report = checker.checkReplay(
-        trace.records, trace.initial_image, *sys,
+        records, trace.initial_image, *sys,
         [&](uint64_t index, fc::CacheSystem &) {
-            if (index == trace.records.size() / 2)
+            if (index == records.size() / 2)
                 discarded = injector.discardFvcState(*sys);
         });
     // Discarding dirty FVC entries mid-replay loses the newest
@@ -491,19 +493,20 @@ TEST(ShadowCheckerTest, CatchesCorruptedMemoryImage)
 {
     auto profile = fw::specIntProfile(fw::SpecInt::Compress129);
     auto trace = fh::prepareTrace(profile, 15000, 7);
+    auto records = trace.columns.materializeRecords();
     auto sys = makeSystem(trace);
     auto spec = fv::FaultSpec::parse("seed=29").value();
     fv::FaultInjector injector(spec);
 
     fv::ShadowChecker checker;
     auto report = checker.checkReplay(
-        trace.records, trace.initial_image, *sys,
+        records, trace.initial_image, *sys,
         [&](uint64_t index, fc::CacheSystem &system) {
             // Flip bits in several backing-store words near the
             // end, after most lines have been fetched; at least
             // one lands in a word the trace still reads or the
             // final image check covers.
-            if (index == (trace.records.size() * 3) / 4) {
+            if (index == (records.size() * 3) / 4) {
                 for (int i = 0; i < 8; ++i)
                     injector.corruptMemoryWord(system.memoryImage());
             }
@@ -559,8 +562,9 @@ TEST(ShadowCheckerTest, CatchesBrokenStorePath)
     auto trace = fh::prepareTrace(profile, 15000, 7);
     DroppedStoreSystem sys(makeSystem(trace), 16);
     fv::ShadowChecker checker;
-    auto report = checker.checkReplay(trace.records,
-                                      trace.initial_image, sys);
+    auto report = checker.checkReplay(
+        trace.columns.materializeRecords(), trace.initial_image,
+        sys);
     EXPECT_FALSE(report.passed()) << report.summary();
     EXPECT_GT(report.load_divergences + report.image_divergences, 0u);
 }
@@ -572,7 +576,7 @@ TEST(ShadowCheckerTest, FlagsMutatedTraceRecords)
     auto spec =
         fv::FaultSpec::parse("seed=31,rate=0.01,kinds=value")
             .value();
-    auto mutated = trace.records;
+    auto mutated = trace.columns.materializeRecords();
     ASSERT_GT(fv::FaultInjector(spec).mutateRecords(mutated), 0u);
 
     auto sys = makeSystem(trace);

@@ -71,6 +71,7 @@ main()
                       accPercent(3), accPercent(7),
                       accPercent(10)});
     }
+    table.exportCsv("fig01_int_locality");
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -61,6 +61,7 @@ main()
                      static_cast<double>(accessed.table().total()),
                  1)});
     }
+    table.exportCsv("fig02_fp_locality");
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -93,8 +93,10 @@ main()
     }
 
     harness::section("locations over time (memory snapshots)");
+    occ.exportCsv("fig03_gcc_timeline_occupancy");
     std::printf("%s", occ.render().c_str());
     harness::section("accesses over time (cumulative)");
+    acc.exportCsv("fig03_gcc_timeline_access");
     std::printf("%s", acc.render().c_str());
     return 0;
 }

@@ -88,6 +88,7 @@ main()
              util::fixedStr(util::percent(on_accessed, misses),
                             1)});
     }
+    table.exportCsv("fig04_miss_attribution");
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -74,6 +74,7 @@ main()
                   util::fixedStr(hist.quantile(0.5), 2)});
     table.addRow({"95th percentile block",
                   util::fixedStr(hist.quantile(0.95), 2)});
+    table.exportCsv("fig05_uniformity");
     std::printf("%s", table.render().c_str());
 
     std::printf("\ndistribution of per-block averages over "

@@ -41,6 +41,7 @@ main()
         }
         dmc_table.addRow(row);
     }
+    dmc_table.exportCsv("fig09_access_time_dmc");
     std::printf("%s", dmc_table.render().c_str());
 
     harness::section(
@@ -70,6 +71,7 @@ main()
             "Kb");
         fvc_table.addRow(row);
     }
+    fvc_table.exportCsv("fig09_access_time_fvc");
     std::printf("%s", fvc_table.render().c_str());
 
     harness::section("fully-associative victim caches (32B lines)");
@@ -82,6 +84,7 @@ main()
                  timing::victimAccessTime(entries, 32).total(),
                  2)});
     }
+    vc_table.exportCsv("fig09_access_time_vc");
     std::printf("%s", vc_table.render().c_str());
     return 0;
 }

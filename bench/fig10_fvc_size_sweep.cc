@@ -127,6 +127,7 @@ main()
         }
         table.addRow(row);
     }
+    table.exportCsv("fig10_fvc_size_sweep");
     std::printf("%s", table.render().c_str());
     std::printf("(columns: %% miss-rate reduction at the given FVC "
                 "entry count)\n");

@@ -55,6 +55,7 @@ main()
              util::withCommas(
                  sys->fvcStats().occupancy_samples)});
     }
+    table.exportCsv("fig11_fvc_content");
     std::printf("%s", table.render().c_str());
     std::printf("(compression = line bytes / code bytes x frequent "
                 "content; the paper quotes 32/3 x 0.40 = 4.27)\n");

@@ -163,6 +163,7 @@ main()
             }
             table.addRow(row);
         }
+        table.exportCsv("fig12_reduction_grid_" + profile.name);
         std::printf("%s", table.render().c_str());
     }
     return 0;

@@ -228,6 +228,8 @@ main()
             }
             table.addSeparator();
         }
+        table.exportCsv("fig13_dmc_vs_fvc_" +
+                        std::to_string(values) + "values");
         std::printf("%s", table.render().c_str());
     }
     return 0;

@@ -144,6 +144,7 @@ main()
         }
         table.addSeparator();
     }
+    table.exportCsv("fig14_set_assoc");
     std::printf("%s", table.render().c_str());
     return 0;
 }

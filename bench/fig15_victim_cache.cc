@@ -114,6 +114,7 @@ printComparison(const char *title, uint32_t vc_entries,
                       reduction(cell.vc_miss),
                       reduction(cell.fvc_miss)});
     }
+    table.exportCsv("fig15_victim_cache");
     std::printf("%s", table.render().c_str());
 }
 

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Prints the golden-store manifest header: the trace generator's
+ * algorithm version, the trace length the golden CSVs were produced
+ * with, and the content fingerprint of every modelled SPEC95
+ * profile. bench/refresh_golden.sh captures this output into
+ * golden/MANIFEST; bench/golden_gate.py re-runs the binary and
+ * refuses to compare CSVs when any header line drifts — a changed
+ * fingerprint means the golden data describes traces the current
+ * tree can no longer generate, so the store must be refreshed, not
+ * diffed against.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "harness/runner.hh"
+#include "util/strings.hh"
+#include "workload/fingerprint.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    using namespace fvc;
+
+    std::printf("generator_version %u\n",
+                workload::kGeneratorVersion);
+    std::printf(
+        "accesses %s\n",
+        std::to_string(harness::defaultTraceAccesses()).c_str());
+
+    auto emit = [](const workload::BenchmarkProfile &profile) {
+        std::printf(
+            "profile %s %s\n", profile.name.c_str(),
+            util::hex64(workload::profileFingerprint(profile))
+                .c_str());
+    };
+    for (workload::SpecInt bench : workload::allSpecInt())
+        emit(workload::specIntProfile(bench));
+    for (const std::string &name : workload::allSpecFpNames())
+        emit(workload::specFpProfile(name));
+    return 0;
+}

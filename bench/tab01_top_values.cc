@@ -53,6 +53,7 @@ main()
                  i < acc.size() ? util::hex32(acc[i].value) : "-",
                  i < occ.size() ? util::hex32(occ[i].value) : "-"});
         }
+        table.exportCsv("tab01_top_values_" + profile.name);
         std::printf("%s", table.render().c_str());
     }
     return 0;

@@ -72,6 +72,7 @@ main()
         table.addRow({ref.name, cell(test, 7), cell(test, 10),
                       cell(train, 7), cell(train, 10)});
     }
+    table.exportCsv("tab02_input_sensitivity");
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -67,6 +67,7 @@ main()
                       pct(profiler.lastOrderChange(7)),
                       pct(profiler.lastSetChange(7)), paper});
     }
+    table.exportCsv("tab03_stability");
     std::printf("%s", table.render().c_str());
     std::printf("('set %%' ignores ordering — the metric that "
                 "matters for configuring an FVC)\n");

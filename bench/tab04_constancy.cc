@@ -50,6 +50,7 @@ main()
                       paper,
                       util::withCommas(tracker.instances())});
     }
+    table.exportCsv("tab04_constancy");
     std::printf("%s", table.render().c_str());
     return 0;
 }

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Differential fuzzer: seeded random (profile, geometry, policy)
+ * cells replayed through DiffRunner, with counterexample shrinking.
+ *
+ * Every cell is a pure function of a 64-bit seed (cellFromSeed), so
+ * any failure reported by a soak run is replayable from its seed
+ * alone. On divergence the failing trace is shrunk to a (near)
+ * minimal record list: a binary search finds the shortest failing
+ * prefix, then ddmin-style deletion passes (coarse-to-fine chunk
+ * removal down to single records) delete everything the divergence
+ * does not need. The shrink predicate is "the originally failing
+ * production path still diverges from the oracle", so the result is
+ * a genuine counterexample even when failure is non-monotone in the
+ * trace prefix.
+ *
+ * Repro output goes through util::Table (rendered text + optional
+ * FVC_CSV_DIR CSV export) — same no-printf rule as DiffRunner.
+ */
+
+#ifndef FVC_ORACLE_FUZZ_HH_
+#define FVC_ORACLE_FUZZ_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "oracle/diff_runner.hh"
+#include "workload/profile.hh"
+
+namespace fvc::oracle::fuzz {
+
+/** One randomized differential test cell. */
+struct FuzzCell
+{
+    /** The seed this cell was derived from (replay key). */
+    uint64_t seed = 0;
+    workload::BenchmarkProfile profile;
+    /** Trace length in records. */
+    uint64_t accesses = 0;
+    uint64_t trace_seed = 1;
+    /** Frequent values profiled from the trace. */
+    size_t top_k = 8;
+    DiffCell cell;
+
+    /** One-line summary for reports. */
+    std::string describe() const;
+};
+
+/** Derive a cell from a seed (pure: equal seeds, equal cells). */
+FuzzCell cellFromSeed(uint64_t seed);
+
+/** Stream of fuzz cells from a master seed. */
+class CellGen
+{
+  public:
+    explicit CellGen(uint64_t seed) : rng_(seed) {}
+
+    FuzzCell next() { return cellFromSeed(rng_.next64()); }
+
+  private:
+    util::Rng rng_;
+};
+
+/** A divergence found by the fuzzer, with its shrunk repro. */
+struct Finding
+{
+    FuzzCell cell;
+    /** The production path that diverged. */
+    Path path = Path::Serial;
+    /** First diverging stats field. */
+    std::string field;
+    /** Access records in the unshrunk trace. */
+    size_t original_records = 0;
+    /** The minimal failing record list. */
+    std::vector<trace::MemRecord> shrunk;
+    /** Rendered repro spec (cell coordinates + shrunk trace). */
+    std::string repro;
+};
+
+/** Generate the trace a fuzz cell replays. */
+harness::PreparedTrace buildTrace(const FuzzCell &cell);
+
+/**
+ * A replayable trace over a record subset of @p base: same
+ * frequent values and initial image, final image recomputed from
+ * the subset's stores.
+ */
+harness::PreparedTrace
+subsetTrace(const harness::PreparedTrace &base,
+            const std::vector<trace::MemRecord> &records);
+
+/**
+ * Replay one cell through all production paths; on divergence,
+ * shrink and build the repro spec.
+ * @return the finding, or nullopt when all paths agree
+ */
+std::optional<Finding> runCell(const FuzzCell &cell,
+                               const DiffRunner &runner);
+
+/** FVC_FUZZ_BUDGET (strict-parsed cell count), or @p fallback. */
+uint64_t fuzzBudget(uint64_t fallback);
+
+} // namespace fvc::oracle::fuzz
+
+#endif // FVC_ORACLE_FUZZ_HH_

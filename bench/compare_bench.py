@@ -60,6 +60,37 @@ def load_store_state(path):
     return doc.get("context", {}).get("fvc_trace_store", "disabled")
 
 
+def load_simd_isa(path):
+    """The fvc_simd_isa context of a result file.
+
+    Files recorded before the context existed count as "scalar":
+    they predate the lane kernel, so the scalar fused loop is what
+    actually ran.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("fvc_simd_isa", "scalar")
+
+
+def check_simd_isas(base_isa, new_isa):
+    """Error string when two runs' replay-kernel ISAs differ, else
+    None.
+
+    The sweep benchmarks' wall clock moves with the dispatched
+    vector width; diffing an avx512 run against a scalar one reports
+    the ISA delta as a perf change in every sweep benchmark. Only
+    like-for-like runs are comparable.
+    """
+    if base_isa == new_isa:
+        return None
+    return (
+        f"simd ISA mismatch: baseline ran with "
+        f"fvc_simd_isa={base_isa!r} but new ran with {new_isa!r}; "
+        f"rerun both on the same machine with the same FVC_SIMD "
+        f"setting"
+    )
+
+
 def check_store_states(base_state, new_state):
     """Error string when two runs' trace-store states cannot be
     compared, else None.
@@ -160,6 +191,14 @@ def self_test():
     assert check_store_states("warm", "warm") is None
     assert check_store_states("disabled", "disabled") is None
 
+    # 7. Mismatched replay-kernel ISAs refuse the comparison; equal
+    #    ISAs (including both predating the context) are fine.
+    assert check_simd_isas("avx512", "scalar") is not None
+    assert check_simd_isas("avx2", "avx512") is not None
+    assert check_simd_isas("off", "avx2") is not None
+    assert check_simd_isas("avx512", "avx512") is None
+    assert check_simd_isas("scalar", "scalar") is None
+
     print("compare_bench.py self-test: all checks passed")
     return 0
 
@@ -188,6 +227,11 @@ def main(argv):
     hot = args.hot if args.hot is not None else DEFAULT_HOT
     mismatch = check_store_states(load_store_state(args.baseline),
                                   load_store_state(args.new))
+    if mismatch:
+        print(f"error: {mismatch}", file=sys.stderr)
+        return 1
+    mismatch = check_simd_isas(load_simd_isa(args.baseline),
+                               load_simd_isa(args.new))
     if mismatch:
         print(f"error: {mismatch}", file=sys.stderr)
         return 1

@@ -15,7 +15,10 @@
 #include "harness/trace_repo.hh"
 #include "profiling/value_table.hh"
 #include "sim/batch_encoder.hh"
+#include "sim/lane_kernel.hh"
+#include "sim/lane_state.hh"
 #include "sim/multi_config.hh"
+#include "sim/simd_dispatch.hh"
 #include "util/logging.hh"
 #include "workload/fingerprint.hh"
 #include "workload/generator.hh"
@@ -207,6 +210,167 @@ BM_GridSweepSinglePass(benchmark::State &state)
 }
 BENCHMARK(BM_GridSweepSinglePass)->Unit(benchmark::kMillisecond);
 
+// The same grid pinned to the legacy scalar fused loop: the
+// denominator of the SIMD speedup gate (check_simd_speedup.py
+// asserts BM_GridSweepSinglePass beats this by >= 3x in Release).
+void
+BM_GridSweepScalarFused(benchmark::State &state)
+{
+    const auto &trace = gccTrace();
+    const auto grid = sweepGrid();
+    for (auto _ : state) {
+        sim::MultiConfigSimulator engine(trace.columns,
+                                         trace.initial_image,
+                                         trace.frequent_values);
+        engine.forceKernel(sim::ReplayKernel::Legacy);
+        for (const auto &cell : grid) {
+            cache::CacheConfig dmc;
+            dmc.size_bytes = cell.dmc_kb * 1024;
+            dmc.line_bytes = 32;
+            if (cell.code_bits == 0) {
+                engine.addDmc(dmc);
+            } else {
+                core::FvcConfig fvc;
+                fvc.entries = 512;
+                fvc.line_bytes = 32;
+                fvc.code_bits = cell.code_bits;
+                engine.addDmcFvc(dmc, fvc);
+            }
+        }
+        engine.run();
+        double sum = 0.0;
+        for (size_t c = 0; c < engine.cellCount(); ++c)
+            sum += engine.missRatePercent(c);
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            trace.columns.size() * grid.size());
+}
+BENCHMARK(BM_GridSweepScalarFused)->Unit(benchmark::kMillisecond);
+
+// --- Lane-kernel micro-ops ------------------------------------
+//
+// These isolate the two vertical hot ops of the lane kernel at the
+// best ISA this machine dispatches: the N-way tag compare over a
+// hitting block (BM_LaneTagCompare) and the DMC-miss -> FVC probe ->
+// frequent-hit path (BM_LaneFvcProbe).
+
+sim::LaneBlockFn
+bestLaneKernel()
+{
+    switch (sim::bestLaneIsa()) {
+      case sim::LaneIsa::Avx512:
+        return sim::runLaneBlockAvx512;
+      case sim::LaneIsa::Avx2:
+        return sim::runLaneBlockAvx2;
+      default:
+        return sim::runLaneBlockScalar;
+    }
+}
+
+void
+BM_LaneTagCompare(benchmark::State &state)
+{
+    // Eight direct-mapped 16KB lanes; a warmed block of 64 distinct
+    // lines, so every access is a pure index/tag-compare hit.
+    sim::LaneGroupSet lanes;
+    cache::CacheConfig cfg;
+    cfg.size_bytes = 16 * 1024;
+    cfg.line_bytes = 32;
+    constexpr size_t kLanes = 8;
+    for (size_t cell = 0; cell < kLanes; ++cell)
+        lanes.addDmcLane(cell, cfg);
+    lanes.finalize();
+
+    alignas(64) trace::Addr addrs[sim::kLaneBlockRecords];
+    alignas(64) trace::Word values[sim::kLaneBlockRecords] = {};
+    for (size_t i = 0; i < sim::kLaneBlockRecords; ++i)
+        addrs[i] = static_cast<trace::Addr>(i * 32);
+
+    sim::BlockCtx ctx;
+    ctx.addrs = addrs;
+    ctx.values = values;
+    ctx.n = sim::kLaneBlockRecords;
+    ctx.access_mask = ~uint64_t{0};
+
+    sim::LaneBlockFn fn = bestLaneKernel();
+    sim::LaneGroup &g = lanes.groups().front();
+    fn(g, ctx); // warm: fill all 64 lines in every lane
+    for (auto _ : state) {
+        fn(g, ctx);
+        benchmark::DoNotOptimize(g.dmc_stamps.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim::kLaneBlockRecords * kLanes);
+}
+BENCHMARK(BM_LaneTagCompare);
+
+void
+BM_LaneFvcProbe(benchmark::State &state)
+{
+    // Eight DMC+FVC lanes in the ping-pong steady state: the DMC
+    // set holds the conflicting line, the FVC holds the accessed
+    // one with frequent content (a zero image and an encoding whose
+    // value set contains 0), so every record runs DMC-miss -> FVC
+    // probe -> frequent-word hit.
+    sim::LaneGroupSet lanes;
+    cache::CacheConfig dmc;
+    dmc.size_bytes = 8 * 1024;
+    dmc.line_bytes = 32;
+    core::FvcConfig fvc;
+    fvc.entries = 256;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    core::DmcFvcPolicy policy;
+    constexpr size_t kLanes = 8;
+    for (size_t cell = 0; cell < kLanes; ++cell)
+        lanes.addFvcLane(cell, dmc, fvc, policy, 0);
+    lanes.finalize();
+
+    core::FrequentValueEncoding enc(
+        {0, 0xffffffffu, 1, 2, 4, 8, 10}, 3);
+    sim::BatchEncoder encoder(enc);
+    const sim::BatchEncoder *encoders[1] = {&encoder};
+    memmodel::FunctionalMemory image; // all-zero: every word frequent
+    sim::FreqWordMap freq_map;
+    freq_map.init(encoders, 1);
+
+    alignas(64) trace::Addr addrs[sim::kLaneBlockRecords];
+    alignas(64) trace::Word values[sim::kLaneBlockRecords] = {};
+    uint64_t freq =
+        encoder.frequentMask(values, sim::kLaneBlockRecords);
+
+    sim::BlockCtx ctx;
+    ctx.addrs = addrs;
+    ctx.values = values;
+    ctx.n = sim::kLaneBlockRecords;
+    ctx.access_mask = ~uint64_t{0};
+    ctx.freq_masks = &freq;
+    ctx.image = &image;
+    ctx.freq_map = &freq_map;
+
+    sim::LaneBlockFn fn = bestLaneKernel();
+    sim::LaneGroup &g = lanes.groups().front();
+    // Warm: fill lines i, then conflict-fill i + 8KB so line i is
+    // evicted into the FVC and the DMC keeps the conflicting tag.
+    for (size_t i = 0; i < sim::kLaneBlockRecords; ++i)
+        addrs[i] = static_cast<trace::Addr>(i * 32);
+    fn(g, ctx);
+    for (size_t i = 0; i < sim::kLaneBlockRecords; ++i)
+        addrs[i] = static_cast<trace::Addr>(i * 32 + 8 * 1024);
+    fn(g, ctx);
+    for (size_t i = 0; i < sim::kLaneBlockRecords; ++i)
+        addrs[i] = static_cast<trace::Addr>(i * 32);
+
+    for (auto _ : state) {
+        fn(g, ctx);
+        benchmark::DoNotOptimize(g.fvc.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim::kLaneBlockRecords * kLanes);
+}
+BENCHMARK(BM_LaneFvcProbe);
+
 void
 BM_BatchEncoding(benchmark::State &state)
 {
@@ -332,6 +496,12 @@ main(int argc, char **argv)
     // a phantom regression; compare_bench.py refuses the pair.
     benchmark::AddCustomContext("fvc_trace_store",
                                 fvc::harness::traceStoreStateName());
+    // The ISA the lane kernel dispatches on this machine ("off"
+    // when FVC_SIMD=off). Sweep timings move with the vector width,
+    // so compare_bench.py refuses to diff runs recorded under
+    // different ISAs.
+    benchmark::AddCustomContext("fvc_simd_isa",
+                                fvc::sim::simdKernelContextString());
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -56,8 +56,12 @@ fi
 mv "$tmp" "$out"
 trap - EXIT
 
-# Surface the recorded trace-store state: comparisons are only valid
-# between runs with the same state (compare_bench.py enforces this).
+# Surface the recorded trace-store state and replay-kernel ISA:
+# comparisons are only valid between runs with the same state and
+# the same ISA (compare_bench.py enforces both).
 store_state=$(sed -n \
     's/.*"fvc_trace_store": "\([a-z]*\)".*/\1/p' "$out" | head -n1)
-echo "wrote $out (fvc_trace_store: ${store_state:-unknown})"
+simd_isa=$(sed -n \
+    's/.*"fvc_simd_isa": "\([a-z0-9]*\)".*/\1/p' "$out" | head -n1)
+echo "wrote $out (fvc_trace_store: ${store_state:-unknown}," \
+     "fvc_simd_isa: ${simd_isa:-unknown})"

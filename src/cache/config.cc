@@ -23,6 +23,17 @@ CacheConfig::validate() const
         fvc_fatal("line larger than cache");
 }
 
+uint64_t
+CacheConfig::laneCompatKey() const
+{
+    // offsetBits() < 32 and floorLog2(assoc) < 32 always hold for a
+    // validated geometry, so one byte per field never truncates.
+    return static_cast<uint64_t>(offsetBits()) |
+           (static_cast<uint64_t>(util::floorLog2(assoc)) << 8) |
+           (static_cast<uint64_t>(replacement) << 16) |
+           (static_cast<uint64_t>(write_policy) << 24);
+}
+
 std::string
 CacheConfig::describe() const
 {

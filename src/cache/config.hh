@@ -67,6 +67,18 @@ struct CacheConfig
     /** Validate invariants; calls fvc_fatal on bad geometry. */
     void validate() const;
 
+    /**
+     * Lane-group compatibility key for the SIMD sweep kernel: two
+     * configs with equal keys share line geometry, associativity,
+     * and replacement/write policy, so a replay kernel iterating
+     * them as parallel lanes has uniform control flow (only the set
+     * count, i.e. the cache size, may differ per lane). The total
+     * size is deliberately NOT part of the key. Packed into the low
+     * 32 bits; callers may compose higher bits (e.g. FVC code
+     * width) into the upper half.
+     */
+    uint64_t laneCompatKey() const;
+
     /** e.g. "16Kb/32B/1-way". */
     std::string describe() const;
 

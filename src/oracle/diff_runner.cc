@@ -10,6 +10,7 @@
 #include "sim/batch_encoder.hh"
 #include "sim/counting_fvc.hh"
 #include "sim/multi_config.hh"
+#include "sim/simd_dispatch.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -96,7 +97,7 @@ allPaths()
 {
     static const std::vector<Path> paths = {
         Path::Serial, Path::Counting, Path::MultiConfig,
-        Path::MmapWarm};
+        Path::Simd, Path::MmapWarm};
     return paths;
 }
 
@@ -107,6 +108,7 @@ pathName(Path path)
       case Path::Serial: return "serial";
       case Path::Counting: return "counting";
       case Path::MultiConfig: return "multi-config";
+      case Path::Simd: return "simd";
       case Path::MmapWarm: return "mmap-warm";
     }
     fvc_panic("unreachable path");
@@ -345,12 +347,30 @@ DiffRunner::runCounting(const harness::PreparedTrace &trace,
 }
 
 std::optional<Divergence>
-DiffRunner::runMultiConfig(const harness::PreparedTrace &trace,
-                           const DiffCell &cell) const
+DiffRunner::runFused(const harness::PreparedTrace &trace,
+                     const DiffCell &cell, Path path) const
 {
     sim::MultiConfigSimulator msim(trace.columns,
                                    trace.initial_image,
                                    trace.frequent_values);
+    // Pin the replay kernel so the two fused paths stay distinct
+    // engines regardless of FVC_SIMD: MultiConfig is always the
+    // legacy loop, Simd always the lane kernel at the best ISA.
+    if (path == Path::Simd) {
+        switch (sim::bestLaneIsa()) {
+          case sim::LaneIsa::Avx512:
+            msim.forceKernel(sim::ReplayKernel::LaneAvx512);
+            break;
+          case sim::LaneIsa::Avx2:
+            msim.forceKernel(sim::ReplayKernel::LaneAvx2);
+            break;
+          case sim::LaneIsa::Scalar:
+            msim.forceKernel(sim::ReplayKernel::LaneScalar);
+            break;
+        }
+    } else {
+        msim.forceKernel(sim::ReplayKernel::Legacy);
+    }
     size_t index = msim.addDmcFvc(cell.dmc, cell.fvc, cell.policy);
     msim.run();
 
@@ -359,8 +379,8 @@ DiffRunner::runMultiConfig(const harness::PreparedTrace &trace,
     fvc_assert(fvc, "DMC+FVC cell must expose FvcStats");
     if (firstDiff(oracle.stats(), oracle.fvcStats(),
                   msim.stats(index), *fvc)) {
-        return makeDivergence(Path::MultiConfig, SIZE_MAX, {}, cell,
-                              oracle, msim.stats(index), *fvc);
+        return makeDivergence(path, SIZE_MAX, {}, cell, oracle,
+                              msim.stats(index), *fvc);
     }
     return std::nullopt;
 }
@@ -429,7 +449,9 @@ DiffRunner::runPath(const harness::PreparedTrace &trace,
     switch (path) {
       case Path::Serial: return runSerial(trace, cell);
       case Path::Counting: return runCounting(trace, cell);
-      case Path::MultiConfig: return runMultiConfig(trace, cell);
+      case Path::MultiConfig:
+        return runFused(trace, cell, Path::MultiConfig);
+      case Path::Simd: return runFused(trace, cell, Path::Simd);
       case Path::MmapWarm: return runMmapWarm(trace, cell);
     }
     fvc_panic("unreachable path");

@@ -11,11 +11,15 @@
  *  - Counting: sim::CountingDmcFvc driven directly with the shared
  *    program-order image exactly as MultiConfigSimulator drives it,
  *    compared access-by-access (lockstep).
- *  - MultiConfig: a one-cell sim::MultiConfigSimulator run; its
- *    fused chunk loop cannot be stepped, so only final stats are
- *    compared (a divergence here and not in Counting implicates the
- *    batch encoding / chunk dispatch, and the Counting path is the
- *    localization tool).
+ *  - MultiConfig: a one-cell sim::MultiConfigSimulator run pinned
+ *    to the legacy fused loop; the loop cannot be stepped, so only
+ *    final stats are compared (a divergence here and not in
+ *    Counting implicates the batch encoding / chunk dispatch, and
+ *    the Counting path is the localization tool).
+ *  - Simd: the same one-cell MultiConfigSimulator run pinned to the
+ *    SIMD lane kernel at the best available ISA; final stats are
+ *    compared (a divergence here and not in MultiConfig implicates
+ *    the lane-group state or the vector kernels).
  *  - MmapWarm: the trace is round-tripped through a v3 store file
  *    (saveTraceFile/loadTraceFile) and the mmap-backed view replayed
  *    through DmcFvcSystem; final stats are compared.
@@ -43,10 +47,11 @@ enum class Path {
     Serial,
     Counting,
     MultiConfig,
+    Simd,
     MmapWarm,
 };
 
-/** All four paths, in lockstep-first order. */
+/** All five paths, in lockstep-first order. */
 const std::vector<Path> &allPaths();
 
 /** Spelled-out path name for reports. */
@@ -101,7 +106,7 @@ class DiffRunner
     runPath(const harness::PreparedTrace &trace, const DiffCell &cell,
             Path path) const;
 
-    /** runPath over all four paths; first divergence wins. */
+    /** runPath over all five paths; first divergence wins. */
     std::optional<Divergence>
     run(const harness::PreparedTrace &trace,
         const DiffCell &cell) const;
@@ -115,9 +120,11 @@ class DiffRunner
     std::optional<Divergence>
     runCounting(const harness::PreparedTrace &trace,
                 const DiffCell &cell) const;
+    /** Shared by MultiConfig and Simd: a one-cell fused run with
+     * the engine pinned to @p path's replay kernel. */
     std::optional<Divergence>
-    runMultiConfig(const harness::PreparedTrace &trace,
-                   const DiffCell &cell) const;
+    runFused(const harness::PreparedTrace &trace,
+             const DiffCell &cell, Path path) const;
     std::optional<Divergence>
     runMmapWarm(const harness::PreparedTrace &trace,
                 const DiffCell &cell) const;

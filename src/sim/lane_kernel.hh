@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Lane-kernel entry points, one per ISA level. Each processes one
+ * 64-record block for one lane group; the caller (the lane engine
+ * in MultiConfigSimulator) picks a function once per run via
+ * simd_dispatch and drives every group through it.
+ *
+ * The AVX TUs are compiled with per-file ISA flags and guard their
+ * intrinsics with the compiler's own feature macros: a build that
+ * recompiles them without those flags (the sanitizer rebuilds in
+ * tests/) gets a scalar-delegating definition instead of a compile
+ * error, and laneKernel*Compiled() reports the degradation so the
+ * runtime dispatch never selects an ISA the binary doesn't carry.
+ */
+
+#ifndef FVC_SIM_LANE_KERNEL_HH_
+#define FVC_SIM_LANE_KERNEL_HH_
+
+#include "sim/lane_state.hh"
+
+namespace fvc::sim {
+
+/** One 64-record block over one lane group. */
+using LaneBlockFn = void (*)(LaneGroup &, const BlockCtx &);
+
+void runLaneBlockScalar(LaneGroup &g, const BlockCtx &ctx);
+void runLaneBlockAvx2(LaneGroup &g, const BlockCtx &ctx);
+void runLaneBlockAvx512(LaneGroup &g, const BlockCtx &ctx);
+
+/** True iff the ISA TU was actually compiled with the ISA enabled. */
+bool laneKernelAvx2Compiled();
+bool laneKernelAvx512Compiled();
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_LANE_KERNEL_HH_

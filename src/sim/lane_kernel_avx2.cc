@@ -1,0 +1,194 @@
+/**
+ * @file
+ * AVX2 lane kernel: 8-wide set-index/tag precompute and an 8-way
+ * vector tag compare. Compiled with -mavx2 via per-file flags; when
+ * rebuilt without them (sanitizer variants) it degrades to the
+ * scalar kernel and reports so through laneKernelAvx2Compiled().
+ */
+
+#include "sim/lane_kernel.hh"
+#include "sim/lane_kernel_impl.hh"
+
+#ifdef __AVX2__
+
+#include <immintrin.h>
+
+namespace fvc::sim {
+
+namespace {
+
+struct Avx2LaneTraits
+{
+    static constexpr bool kFastDm = true;
+    static constexpr unsigned kChunk = 8;
+
+    /** Expand a low-8-bit mask to 8 full-width vector lanes. */
+    static __m256i
+    laneMask(uint64_t bits)
+    {
+        const __m256i lane_bit = _mm256_setr_epi32(
+            1, 2, 4, 8, 16, 32, 64, 128);
+        const __m256i b =
+            _mm256_set1_epi32(static_cast<int>(bits));
+        return _mm256_cmpeq_epi32(
+            _mm256_and_si256(b, lane_bit), lane_bit);
+    }
+
+    /**
+     * Predicted-hit mask for records [c0, c0+8): mask-gather the
+     * current tag at each record's line index (inactive lanes do
+     * not load — tail records past ctx.n carry uninitialized
+     * indices) and compare against the record tags. The result is
+     * re-masked with @p active because an inactive lane's zero
+     * passthrough could equal a garbage tail tag. idx/tag are
+     * 64-byte aligned and c0 is a multiple of 8.
+     */
+    static uint64_t
+    gatherCompare(const uint32_t *tags, const uint32_t *idx,
+                  const uint32_t *tag, unsigned c0, uint64_t active)
+    {
+        const __m256i vidx = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(idx + c0));
+        const __m256i vtag = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(tag + c0));
+        const __m256i got = _mm256_mask_i32gather_epi32(
+            _mm256_setzero_si256(),
+            reinterpret_cast<const int *>(tags), vidx,
+            laneMask(active), 4);
+        const __m256i bare = _mm256_and_si256(
+            got,
+            _mm256_set1_epi32(static_cast<int>(~kLaneDirtyBit)));
+        const unsigned eq =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(
+                    _mm256_cmpeq_epi32(bare, vtag))));
+        return eq & active;
+    }
+
+    /**
+     * Re-predict after a miss installed/updated line @p miss_idx,
+     * whose tag is now @p cur_tag: records still pending whose line
+     * index aliases it get their prediction replaced by a compare
+     * against cur_tag; all other predictions stay valid.
+     */
+    static uint64_t
+    recompare(const uint32_t *idx, const uint32_t *tag, unsigned c0,
+              uint64_t remaining, uint32_t miss_idx,
+              uint32_t cur_tag, uint64_t pred)
+    {
+        const __m256i vidx = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(idx + c0));
+        const uint64_t same =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+                    vidx, _mm256_set1_epi32(
+                              static_cast<int>(miss_idx)))))) &
+            remaining;
+        if (same == 0)
+            return pred;
+        const __m256i vtag = _mm256_load_si256(
+            reinterpret_cast<const __m256i *>(tag + c0));
+        const uint64_t hit =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpeq_epi32(
+                    vtag, _mm256_set1_epi32(
+                              static_cast<int>(cur_tag))))));
+        return (pred & ~same) | (hit & same);
+    }
+
+    static void
+    precompute(const LaneGroup &g, const Lane &lane,
+               const Addr *addrs, size_t n, uint32_t *idx,
+               uint32_t *tag)
+    {
+        const __m256i base =
+            _mm256_set1_epi32(static_cast<int>(lane.dmc_base));
+        const __m256i mask =
+            _mm256_set1_epi32(static_cast<int>(lane.dmc_set_mask));
+        const __m128i off = _mm_cvtsi32_si128(g.offset_bits);
+        const __m128i la = _mm_cvtsi32_si128(g.log2_assoc);
+        const __m128i ts = _mm_cvtsi32_si128(lane.dmc_tag_shift);
+        size_t i = 0;
+        for (; i + 8 <= n; i += 8) {
+            __m256i a = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(addrs + i));
+            __m256i set =
+                _mm256_and_si256(_mm256_srl_epi32(a, off), mask);
+            __m256i ix = _mm256_add_epi32(
+                base, _mm256_sll_epi32(set, la));
+            _mm256_store_si256(reinterpret_cast<__m256i *>(idx + i),
+                               ix);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(tag + i),
+                               _mm256_srl_epi32(a, ts));
+        }
+        for (; i < n; ++i) {
+            idx[i] = lane.dmc_base +
+                     (((addrs[i] >> g.offset_bits) &
+                       lane.dmc_set_mask)
+                      << g.log2_assoc);
+            tag[i] = addrs[i] >> lane.dmc_tag_shift;
+        }
+    }
+
+    static int
+    findWay(const uint32_t *tags, uint32_t assoc, uint32_t tag)
+    {
+        if (assoc == 1)
+            return (tags[0] & ~kLaneDirtyBit) == tag ? 0 : -1;
+        // The tag columns carry kLaneTagPad sentinel slots, so the
+        // full-width load never leaves the allocation; lanes beyond
+        // assoc are masked off (they belong to the next set).
+        __m256i t = _mm256_set1_epi32(static_cast<int>(tag));
+        __m256i v = _mm256_and_si256(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(tags)),
+            _mm256_set1_epi32(static_cast<int>(~kLaneDirtyBit)));
+        unsigned m =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, t))));
+        m &= assoc >= 8 ? 0xffu : (1u << assoc) - 1;
+        if (m != 0)
+            return std::countr_zero(m);
+        for (uint32_t w = 8; w < assoc; ++w) {
+            if ((tags[w] & ~kLaneDirtyBit) == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+};
+
+} // namespace
+
+void
+runLaneBlockAvx2(LaneGroup &g, const BlockCtx &ctx)
+{
+    runLaneBlockT<Avx2LaneTraits>(g, ctx);
+}
+
+bool
+laneKernelAvx2Compiled()
+{
+    return true;
+}
+
+} // namespace fvc::sim
+
+#else // !__AVX2__: compiled without the per-file flags
+
+namespace fvc::sim {
+
+void
+runLaneBlockAvx2(LaneGroup &g, const BlockCtx &ctx)
+{
+    runLaneBlockScalar(g, ctx);
+}
+
+bool
+laneKernelAvx2Compiled()
+{
+    return false;
+}
+
+} // namespace fvc::sim
+
+#endif

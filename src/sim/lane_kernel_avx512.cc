@@ -1,0 +1,163 @@
+/**
+ * @file
+ * AVX-512 lane kernel: 16-wide set-index/tag precompute and a
+ * mask-register tag compare. Only AVX-512F instructions are used,
+ * matching the -mavx512f per-file flag and the runtime avx512f
+ * check in simd_dispatch. Degrades to the scalar kernel when
+ * compiled without the flag (sanitizer rebuilds).
+ */
+
+#include "sim/lane_kernel.hh"
+#include "sim/lane_kernel_impl.hh"
+
+#ifdef __AVX512F__
+
+#include <immintrin.h>
+
+namespace fvc::sim {
+
+namespace {
+
+struct Avx512LaneTraits
+{
+    static constexpr bool kFastDm = true;
+    static constexpr unsigned kChunk = 16;
+
+    /**
+     * Predicted-hit mask for records [c0, c0+16): mask-gather the
+     * current tag at each record's line index (inactive lanes do
+     * not load — tail records past ctx.n carry uninitialized
+     * indices) and compare against the record tags. idx/tag are
+     * 64-byte aligned and c0 is a multiple of 16.
+     */
+    static uint64_t
+    gatherCompare(const uint32_t *tags, const uint32_t *idx,
+                  const uint32_t *tag, unsigned c0, uint64_t active)
+    {
+        const __mmask16 m = static_cast<__mmask16>(active);
+        const __m512i vidx = _mm512_load_si512(idx + c0);
+        const __m512i vtag = _mm512_load_si512(tag + c0);
+        const __m512i got = _mm512_mask_i32gather_epi32(
+            _mm512_setzero_si512(), m, vidx,
+            reinterpret_cast<const int *>(tags), 4);
+        const __m512i bare = _mm512_and_si512(
+            got,
+            _mm512_set1_epi32(static_cast<int>(~kLaneDirtyBit)));
+        return _mm512_mask_cmpeq_epi32_mask(m, bare, vtag);
+    }
+
+    /**
+     * Re-predict after a miss installed/updated line @p miss_idx,
+     * whose tag is now @p cur_tag: records still pending whose line
+     * index aliases it get their prediction replaced by a compare
+     * against cur_tag; all other predictions stay valid.
+     */
+    static uint64_t
+    recompare(const uint32_t *idx, const uint32_t *tag, unsigned c0,
+              uint64_t remaining, uint32_t miss_idx,
+              uint32_t cur_tag, uint64_t pred)
+    {
+        const __mmask16 rem = static_cast<__mmask16>(remaining);
+        const __m512i vidx = _mm512_load_si512(idx + c0);
+        const __mmask16 same = _mm512_mask_cmpeq_epi32_mask(
+            rem, vidx,
+            _mm512_set1_epi32(static_cast<int>(miss_idx)));
+        if (same == 0)
+            return pred;
+        const __m512i vtag = _mm512_load_si512(tag + c0);
+        const __mmask16 hit = _mm512_mask_cmpeq_epi32_mask(
+            same, vtag,
+            _mm512_set1_epi32(static_cast<int>(cur_tag)));
+        return (pred & ~static_cast<uint64_t>(same)) |
+               static_cast<uint64_t>(hit);
+    }
+
+    static void
+    precompute(const LaneGroup &g, const Lane &lane,
+               const Addr *addrs, size_t n, uint32_t *idx,
+               uint32_t *tag)
+    {
+        const __m512i base =
+            _mm512_set1_epi32(static_cast<int>(lane.dmc_base));
+        const __m512i mask =
+            _mm512_set1_epi32(static_cast<int>(lane.dmc_set_mask));
+        const __m128i off = _mm_cvtsi32_si128(g.offset_bits);
+        const __m128i la = _mm_cvtsi32_si128(g.log2_assoc);
+        const __m128i ts = _mm_cvtsi32_si128(lane.dmc_tag_shift);
+        size_t i = 0;
+        for (; i + 16 <= n; i += 16) {
+            __m512i a = _mm512_loadu_si512(addrs + i);
+            __m512i set =
+                _mm512_and_si512(_mm512_srl_epi32(a, off), mask);
+            __m512i ix = _mm512_add_epi32(
+                base, _mm512_sll_epi32(set, la));
+            _mm512_store_si512(idx + i, ix);
+            _mm512_store_si512(tag + i, _mm512_srl_epi32(a, ts));
+        }
+        for (; i < n; ++i) {
+            idx[i] = lane.dmc_base +
+                     (((addrs[i] >> g.offset_bits) &
+                       lane.dmc_set_mask)
+                      << g.log2_assoc);
+            tag[i] = addrs[i] >> lane.dmc_tag_shift;
+        }
+    }
+
+    static int
+    findWay(const uint32_t *tags, uint32_t assoc, uint32_t tag)
+    {
+        if (assoc == 1)
+            return (tags[0] & ~kLaneDirtyBit) == tag ? 0 : -1;
+        // kLaneTagPad sentinel slots keep the full-width load in
+        // bounds; ways beyond assoc are masked off.
+        __m512i t = _mm512_set1_epi32(static_cast<int>(tag));
+        __m512i v = _mm512_and_si512(
+            _mm512_loadu_si512(tags),
+            _mm512_set1_epi32(static_cast<int>(~kLaneDirtyBit)));
+        unsigned m = _mm512_cmpeq_epi32_mask(v, t);
+        m &= assoc >= 16 ? 0xffffu : (1u << assoc) - 1;
+        if (m != 0)
+            return std::countr_zero(m);
+        for (uint32_t w = 16; w < assoc; ++w) {
+            if ((tags[w] & ~kLaneDirtyBit) == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+};
+
+} // namespace
+
+void
+runLaneBlockAvx512(LaneGroup &g, const BlockCtx &ctx)
+{
+    runLaneBlockT<Avx512LaneTraits>(g, ctx);
+}
+
+bool
+laneKernelAvx512Compiled()
+{
+    return true;
+}
+
+} // namespace fvc::sim
+
+#else // !__AVX512F__: compiled without the per-file flags
+
+namespace fvc::sim {
+
+void
+runLaneBlockAvx512(LaneGroup &g, const BlockCtx &ctx)
+{
+    runLaneBlockScalar(g, ctx);
+}
+
+bool
+laneKernelAvx512Compiled()
+{
+    return false;
+}
+
+} // namespace fvc::sim
+
+#endif

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * The shared lane-kernel hot loop, parameterized on an ISA traits
+ * type. Included by the per-ISA TUs only — not a public header.
+ *
+ * Traits provide the vertical primitives:
+ *
+ *   precompute(group, lane, addrs, n, idx, tag)
+ *       fill per-record line-column indices (set base) and tags for
+ *       one lane — pure u32 shift/mask/add columns, the natural
+ *       8/16-wide vector op;
+ *   findWay(way_tags, assoc, tag) -> way or -1
+ *       the N-way tag compare against one set's contiguous tag
+ *       column (first match wins; the columns carry kLaneTagPad
+ *       sentinel slots so a full-width vector load at any set start
+ *       stays in bounds);
+ *   gatherCompare / recompare (kFastDm traits only)
+ *       the predicted-hit primitives of the direct-mapped chunk
+ *       walk, see runLaneDm below.
+ *
+ * Everything else — mask-driven record walk, occupancy countdown,
+ * hit accounting, the scalar miss path — is shared, which is what
+ * keeps the ISA variants bit-identical by construction: they differ
+ * only in how the pure (stateless) index/tag/compare math is
+ * evaluated.
+ *
+ * Direct-mapped groups skip all stamp/clock maintenance: with one
+ * way the victim is always way 0, so dmcVictimWay/fvcVictim never
+ * read a stamp, and stamps/clocks appear in no statistic — the
+ * stores are dead and eliding them is bit-identical for every
+ * replacement policy.
+ */
+
+#ifndef FVC_SIM_LANE_KERNEL_IMPL_HH_
+#define FVC_SIM_LANE_KERNEL_IMPL_HH_
+
+#include <bit>
+
+#include "sim/lane_state.hh"
+
+namespace fvc::sim {
+
+struct ScalarLaneTraits
+{
+    /** No vector gather: the per-record findWay walk is already the
+     * cheapest scalar formulation, so the chunked predicted-hit
+     * path would only add passes. */
+    static constexpr bool kFastDm = false;
+
+    static void
+    precompute(const LaneGroup &g, const Lane &lane,
+               const Addr *addrs, size_t n, uint32_t *idx,
+               uint32_t *tag)
+    {
+        const uint32_t base = lane.dmc_base;
+        const uint32_t mask = lane.dmc_set_mask;
+        const unsigned off = g.offset_bits;
+        const unsigned la = g.log2_assoc;
+        const unsigned ts = lane.dmc_tag_shift;
+        for (size_t i = 0; i < n; ++i) {
+            idx[i] = base + (((addrs[i] >> off) & mask) << la);
+            tag[i] = addrs[i] >> ts;
+        }
+    }
+
+    static int
+    findWay(const uint32_t *tags, uint32_t assoc, uint32_t tag)
+    {
+        for (uint32_t w = 0; w < assoc; ++w) {
+            if ((tags[w] & ~kLaneDirtyBit) == tag)
+                return static_cast<int>(w);
+        }
+        return -1;
+    }
+};
+
+/**
+ * Chunked walk for one direct-mapped lane with no occupancy sample
+ * due this block. Per Traits::kChunk records: one vector gather of
+ * the current tag words at each record's line index and one vector
+ * compare (dirty bit masked off) yield a *predicted* hit mask.
+ * Predictions are exact up to the first actual miss — the only
+ * state a record can change that a later probe observes is the tag
+ * it installs: only missPath replaces tags, and a hit's dirty-bit
+ * OR never alters the masked compare (and is order-insensitive
+ * within the chunk's hit runs). So: retire the run of hits before
+ * the first miss in bulk (popcount accounting), take the scalar
+ * miss path for that record, then re-predict just the
+ * not-yet-retired records that alias the missed line index against
+ * its now-current tag (recompare) and repeat. Statistics are
+ * bit-identical to the per-record walk by the argument above;
+ * stamps are skipped entirely (see file header).
+ */
+template <typename Traits>
+inline void
+runLaneDm(LaneGroup &g, Lane &lane, const BlockCtx &ctx,
+          uint64_t freq, const uint32_t *idx, const uint32_t *tag)
+{
+    constexpr unsigned kW = Traits::kChunk;
+    constexpr uint64_t kWMask = (uint64_t{1} << kW) - 1;
+    uint32_t *tags = g.dmc_tags.data();
+    const unsigned n = static_cast<unsigned>(ctx.n);
+    for (unsigned c0 = 0; c0 < n; c0 += kW) {
+        const uint64_t active = (ctx.access_mask >> c0) & kWMask;
+        if (active == 0)
+            continue;
+        uint64_t pred =
+            Traits::gatherCompare(tags, idx, tag, c0, active);
+        const uint64_t stores = (ctx.store_mask >> c0) & kWMask;
+        uint64_t remaining = active;
+        while (remaining != 0) {
+            const uint64_t misses = remaining & ~pred;
+            const uint64_t seg =
+                misses != 0 ? remaining & ((misses & -misses) - 1)
+                            : remaining;
+            if (seg != 0) {
+                lane.stats.read_hits += static_cast<uint64_t>(
+                    std::popcount(seg & ~stores));
+                lane.stats.write_hits += static_cast<uint64_t>(
+                    std::popcount(seg & stores));
+                for (uint64_t b = seg & stores; b != 0; b &= b - 1)
+                    tags[idx[c0 + std::countr_zero(b)]] |=
+                        kLaneDirtyBit;
+                remaining &= ~seg;
+            }
+            if (misses == 0)
+                break;
+            const unsigned k =
+                static_cast<unsigned>(std::countr_zero(misses));
+            const unsigned i = c0 + k;
+            LaneGroupSet::missPath(g, lane, ctx, i, ctx.addrs[i],
+                                   (stores >> k) & 1u,
+                                   (freq >> i) & 1u);
+            remaining &= ~(uint64_t{1} << k);
+            if (remaining != 0)
+                pred = Traits::recompare(
+                    idx, tag, c0, remaining, idx[i],
+                    tags[idx[i]] & ~kLaneDirtyBit, pred);
+        }
+    }
+}
+
+template <typename Traits>
+inline void
+runLaneBlockT(LaneGroup &g, const BlockCtx &ctx)
+{
+    const unsigned n_accesses =
+        static_cast<unsigned>(std::popcount(ctx.access_mask));
+    if (n_accesses == 0)
+        return;
+    const uint64_t freq = g.is_fvc ? ctx.freq_masks[g.enc_group] : 0;
+    const bool dm = g.assoc == 1;
+    // Direct-mapped stamps are dead stores (file header); only the
+    // LRU hit path writes them at all.
+    const bool stamp =
+        g.replacement == cache::Replacement::LRU && !dm;
+
+    alignas(64) uint32_t idx[kLaneBlockRecords];
+    alignas(64) uint32_t tag[kLaneBlockRecords];
+
+    for (Lane &lane : g.lanes) {
+        Traits::precompute(g, lane, ctx.addrs, ctx.n, idx, tag);
+
+        // Occupancy-countdown fast path: when no sample can fire
+        // inside this block, retire all its accesses at once and
+        // skip the per-access countdown.
+        const bool careful =
+            lane.countdown != 0 && lane.countdown <= n_accesses;
+        if (!careful && lane.countdown != 0)
+            lane.countdown -= n_accesses;
+
+        if constexpr (Traits::kFastDm) {
+            if (dm && !careful) {
+                runLaneDm<Traits>(g, lane, ctx, freq, idx, tag);
+                continue;
+            }
+        }
+
+        uint64_t bits = ctx.access_mask;
+        while (bits) {
+            const unsigned i =
+                static_cast<unsigned>(std::countr_zero(bits));
+            bits &= bits - 1;
+            if (careful && lane.countdown != 0 &&
+                --lane.countdown == 0) {
+                LaneGroupSet::sampleOccupancy(g, lane);
+                lane.countdown = lane.sample_interval;
+            }
+            const bool is_store = (ctx.store_mask >> i) & 1u;
+            const int way = Traits::findWay(&g.dmc_tags[idx[i]],
+                                            g.assoc, tag[i]);
+            if (way >= 0) {
+                const size_t line =
+                    idx[i] + static_cast<size_t>(way);
+                if (stamp)
+                    g.dmc_stamps[line] = ++lane.dmc_clock;
+                if (is_store) {
+                    ++lane.stats.write_hits;
+                    g.dmc_tags[line] |= kLaneDirtyBit;
+                } else {
+                    ++lane.stats.read_hits;
+                }
+            } else {
+                LaneGroupSet::missPath(g, lane, ctx, i,
+                                       ctx.addrs[i], is_store,
+                                       (freq >> i) & 1u);
+            }
+        }
+    }
+}
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_LANE_KERNEL_IMPL_HH_

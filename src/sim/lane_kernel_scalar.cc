@@ -1,0 +1,12 @@
+#include "sim/lane_kernel.hh"
+#include "sim/lane_kernel_impl.hh"
+
+namespace fvc::sim {
+
+void
+runLaneBlockScalar(LaneGroup &g, const BlockCtx &ctx)
+{
+    runLaneBlockT<ScalarLaneTraits>(g, ctx);
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Struct-of-arrays lane state for the SIMD multi-configuration
+ * replay kernel.
+ *
+ * The single-pass engine's scalar loop dispatches every record to
+ * every grid cell through a per-cell object (TagOnlyCache /
+ * CountingDmcFvc). The lane kernel restructures that per-config
+ * state into *lane groups*: cells whose configs share
+ * (line_bytes, assoc, replacement, code_bits) — and therefore share
+ * control flow on the hot path — become lanes of one group, and
+ * their line state is stored as contiguous columns (tag / dirty /
+ * stamp, plus FVC tag / dirty / stamp / present) concatenated
+ * lane-after-lane in one arena allocation per group. The hot
+ * probe streams those columns; only true protocol divergence (a
+ * DMC miss, an occupancy sample, a Random-replacement RNG draw)
+ * drops to the per-lane scalar miss path, so one divergent lane
+ * never serializes its group.
+ *
+ * Validity and the dirty bit are encoded in the DMC tag word
+ * itself: an invalid line holds kLaneInvalidTag, which no real tag
+ * can equal (tags are 32-bit addresses shifted right by at least
+ * offsetBits() >= 2, so they never reach bit 30), and a dirty line
+ * carries kLaneDirtyBit in bit 31. The probe is a single masked
+ * compare with no separate valid-bit or dirty-byte load, and a
+ * store hit dirties the line by OR-ing the tag word it just
+ * probed — the state a line access touches is exactly one 32-bit
+ * word.
+ *
+ * Bit-identity: per-lane clocks, RNG streams, counters, and the
+ * occupancy-sample double accumulation advance in exactly the
+ * per-record order CountingDmcFvc uses, and lanes are mutually
+ * independent within a block (the shared program-order image is
+ * only advanced at block boundaries; in-block reads overlay the
+ * block's store log, see BlockCtx). DESIGN.md section 13 gives the
+ * full argument.
+ */
+
+#ifndef FVC_SIM_LANE_STATE_HH_
+#define FVC_SIM_LANE_STATE_HH_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/config.hh"
+#include "cache/stats.hh"
+#include "core/dmc_fvc_system.hh"
+#include "memmodel/functional_memory.hh"
+#include "sim/batch_encoder.hh"
+#include "util/random.hh"
+
+namespace fvc::sim {
+
+using trace::Addr;
+using trace::Word;
+
+/**
+ * Tag sentinel marking an invalid line/entry (see file header). All
+ * tag bits below the dirty bit set — unreachable because real tags
+ * are addresses shifted right by at least 2.
+ */
+inline constexpr uint32_t kLaneInvalidTag = 0x7fffffffu;
+
+/** DMC dirty flag, packed into bit 31 of the line's tag word. */
+inline constexpr uint32_t kLaneDirtyBit = 0x80000000u;
+
+/** Records per kernel block: one BatchEncoder mask word. */
+inline constexpr size_t kLaneBlockRecords = 64;
+
+/**
+ * Sentinel slots appended to each DMC tag column so the SIMD
+ * findWay can issue a full-width (up to 16-lane) load at any set
+ * start without leaving the allocation. Sentinels never compare
+ * equal to a real tag, and matches beyond the set's assoc are
+ * masked off anyway.
+ */
+inline constexpr size_t kLaneTagPad = 16;
+
+/**
+ * Per-word frequent-value bits mirroring the shared image,
+ * maintained incrementally as the image advances.
+ *
+ * The eviction path needs the victim line's frequent-word mask,
+ * which the scalar engine computes by reading every word of the
+ * line from the image and searching the encoding table. Misses are
+ * common enough on the SPEC profiles (10-20% of accesses) that this
+ * scan dominates the whole sweep. The map caches the encode: byte w
+ * of a page holds, in bit g, whether the image's current value of
+ * word w is frequent under encoding group g (one bit per distinct
+ * code_bits in the grid, at most 8 groups). Pages materialize
+ * lazily from the image on the first eviction that touches them;
+ * thereafter the replay loop pushes every store's precomputed
+ * frequent bit into the map as it advances the image, so a line's
+ * mask costs words_per_line byte loads instead of words_per_line
+ * image reads plus a table search.
+ */
+class FreqWordMap
+{
+  public:
+    /** @p encoders: one per encoding group, at most 8 groups. */
+    void init(const BatchEncoder *const *encoders, size_t n_groups);
+
+    /**
+     * Frequent-word mask (bit w set iff word w is frequent under
+     * group @p group) of the line [base, base + words * 4).
+     * Materializes the containing 64-word segment from @p image on
+     * first touch; the non-const image reference only feeds its
+     * last-page read cache.
+     */
+    uint64_t lineMask(memmodel::FunctionalMemory &image, Addr base,
+                      uint32_t words, unsigned group);
+
+    /**
+     * The image is advancing: word @p addr now holds a value whose
+     * per-group frequent bits are the low bits of @p byte. Pages
+     * the map has not materialized are skipped — they pick up the
+     * new value from the image when first touched.
+     */
+    void noteStore(Addr addr, uint8_t byte);
+
+  private:
+    /** Words per lazily-encoded segment (one frequentMask batch). */
+    static constexpr uint32_t kSegWords = 64;
+
+    struct FreqPage
+    {
+        /** Padded so an 8-byte mask-extraction load issued for the
+         * first word of a short line at page end stays in bounds. */
+        uint8_t bits[memmodel::kPageWords + 8];
+        /** Bit s set iff segment s's bytes are materialized.
+         * Evictions touch a sparse subset of a page's lines, so
+         * encoding is deferred segment by segment. */
+        uint64_t seg_valid = 0;
+    };
+
+    FreqPage *pageFor(uint32_t page_num);
+    void materializeSegment(memmodel::FunctionalMemory &image,
+                            uint32_t page_num, FreqPage &page,
+                            uint32_t seg);
+
+    /** Direct-mapped page-lookup cache slots (eviction streams
+     * alternate between victim and store pages, so a single-entry
+     * cache would thrash). */
+    static constexpr uint32_t kCacheSlots = 128;
+
+    struct CacheSlot
+    {
+        uint32_t num = 0;
+        bool cached = false;
+        /** nullptr = page known absent. Never goes stale: the only
+         * absent-to-present transition is pageFor, which refreshes
+         * the slot. */
+        FreqPage *page = nullptr;
+    };
+
+    std::unordered_map<uint32_t, std::unique_ptr<FreqPage>> pages_;
+    const BatchEncoder *const *encoders_ = nullptr;
+    size_t n_groups_ = 0;
+    CacheSlot slots_[kCacheSlots];
+};
+
+/**
+ * Per-block inputs shared by every lane group: the record columns,
+ * precomputed op/frequent masks, and the block's program-order
+ * store log. The shared functional image holds the newest value of
+ * every word *as of the block's first record*; a value read at
+ * in-block time i is the image value overlaid with the log's
+ * stores at record indices < i (the log is in record order, so the
+ * overlay is a prefix scan).
+ */
+struct BlockCtx
+{
+    const Addr *addrs = nullptr;
+    const Word *values = nullptr;
+    /** Records in this block (<= kLaneBlockRecords). */
+    size_t n = 0;
+    /** Bit i set iff record i is a load or store. */
+    uint64_t access_mask = 0;
+    /** Bit i set iff record i is a store. */
+    uint64_t store_mask = 0;
+    /** Per encoding group: bit i iff values[i] is frequent. */
+    const uint64_t *freq_masks = nullptr;
+    /** Program-order store log (record order, stores only). */
+    const Addr *store_addr = nullptr;
+    const Word *store_val = nullptr;
+    const uint8_t *store_rec = nullptr;
+    uint32_t n_stores = 0;
+    /**
+     * Bloom filter over the log's store addresses at 32-byte
+     * granularity: bit (addr >> 5) & 63 set per store. An eviction
+     * whose victim line matches no filter bit skips the log scan
+     * entirely — most victims were never stored to in the block.
+     * Zero means "no stores or not computed": scan unconditionally
+     * (callers that build a BlockCtx by hand need not fill it).
+     */
+    uint64_t store_line_filter = 0;
+    /** Shared image, frozen at the block's first record. */
+    memmodel::FunctionalMemory *image = nullptr;
+    /** Frequent-bit mirror of the image, same freeze point. */
+    FreqWordMap *freq_map = nullptr;
+};
+
+/** One grid cell's slice of a lane group. */
+struct Lane
+{
+    /** Cell index in the owning MultiConfigSimulator. */
+    size_t cell = 0;
+
+    // DMC geometry. offset bits / assoc / replacement are
+    // group-uniform and live on LaneGroup.
+    uint32_t dmc_base = 0; ///< first line index in the group columns
+    uint32_t dmc_lines = 0;
+    uint32_t dmc_set_mask = 0;
+    uint8_t dmc_tag_shift = 0;
+    uint32_t line_bytes = 0;
+
+    // FVC geometry (FVC groups only).
+    uint32_t fvc_base = 0; ///< first entry index in the group columns
+    uint32_t fvc_entries = 0;
+    uint32_t fvc_assoc = 0;
+    uint32_t fvc_set_mask = 0;
+    uint8_t fvc_offset_bits = 0;
+    uint8_t fvc_tag_shift = 0;
+    uint8_t words_per_line = 0;
+
+    // Protocol policy (may diverge per lane; miss path only).
+    bool skip_barren = true;
+    bool write_alloc = true;
+    uint64_t sample_interval = 0;
+    uint64_t countdown = 0;
+
+    // Replacement/stamp state, mirrored from the scalar models.
+    uint64_t dmc_clock = 0;
+    uint64_t fvc_clock = 0;
+    util::Rng rng{12345};
+
+    cache::CacheStats stats;
+    core::FvcStats fvc_stats;
+};
+
+/**
+ * One FVC entry, packed so a direct-mapped probe touches exactly one
+ * cache line: present mask, stamp, tag, and dirty all travel
+ * together, and the 32-byte alignment keeps an entry from straddling
+ * a line boundary. The miss path is scalar (no vector code reads
+ * FVC columns), so array-of-structs beats split columns here — every
+ * DMC miss probes the FVC, and the split layout cost three or four
+ * line touches per probe.
+ */
+struct alignas(32) FvcEntry
+{
+    uint64_t present = 0;
+    uint64_t stamp = 0;
+    uint32_t tag = kLaneInvalidTag;
+    uint8_t dirty = 0;
+};
+
+/**
+ * A lane group: cells with compatible configs and the SoA columns
+ * holding their line state. Columns are concatenated lane-major
+ * (lane l's lines occupy [lanes[l].dmc_base,
+ * lanes[l].dmc_base + dmc_lines)), so the whole group streams from
+ * contiguous memory and a vector kernel can address any lane's set
+ * as base + set * assoc with one per-lane base offset.
+ */
+struct LaneGroup
+{
+    uint64_t key = 0;
+    bool is_fvc = false;
+    /** Encoding group (BatchEncoder + mask) index; FVC groups. */
+    unsigned enc_group = 0;
+
+    // Group-uniform geometry.
+    uint32_t assoc = 1;
+    uint32_t line_bytes = 32;
+    uint8_t offset_bits = 5;
+    uint8_t log2_assoc = 0;
+    cache::Replacement replacement = cache::Replacement::LRU;
+
+    std::vector<Lane> lanes;
+
+    // DMC line columns (one slot per line, all lanes). The tag word
+    // carries the dirty bit (kLaneDirtyBit) and validity
+    // (kLaneInvalidTag) — see file header.
+    std::vector<uint32_t> dmc_tags;
+    std::vector<uint64_t> dmc_stamps;
+
+    // FVC entry column (one slot per entry, all lanes).
+    std::vector<FvcEntry> fvc;
+};
+
+/**
+ * The lane groups of one sweep grid. Build with addDmcLane /
+ * addFvcLane (cell add order), then finalize() to allocate the
+ * column arenas before running any kernel block.
+ */
+class LaneGroupSet
+{
+  public:
+    /** Add a bare DMC cell as a lane. */
+    void addDmcLane(size_t cell, const cache::CacheConfig &config);
+
+    /** Add a DMC+FVC cell as a lane of encoding group @p enc_group. */
+    void addFvcLane(size_t cell, const cache::CacheConfig &dmc,
+                    const core::FvcConfig &fvc,
+                    const core::DmcFvcPolicy &policy,
+                    unsigned enc_group);
+
+    /** Allocate the SoA columns; call once after the last add. */
+    void finalize();
+
+    std::vector<LaneGroup> &groups() { return groups_; }
+    const std::vector<LaneGroup> &groups() const { return groups_; }
+
+    /** Account the end-of-run flush for every lane (DMC then FVC,
+     * index order — the order CountingDmcFvc::flush uses). */
+    void flush();
+
+    /**
+     * The full per-record protocol after a DMC probe miss; mirrors
+     * CountingDmcFvc::access (and TagOnlyCache::access for bare
+     * groups) from the miss point on. @p rec is the record's index
+     * within the block (for store-log overlay reads).
+     */
+    static void missPath(LaneGroup &g, Lane &lane,
+                         const BlockCtx &ctx, unsigned rec,
+                         Addr addr, bool is_store, bool frequent);
+
+    /** One occupancy sample; mirrors
+     * CountingDmcFvc::sampleOccupancy. */
+    static void sampleOccupancy(LaneGroup &g, Lane &lane);
+
+  private:
+    LaneGroup &groupFor(uint64_t key, bool is_fvc,
+                        const cache::CacheConfig &dmc,
+                        unsigned enc_group);
+
+    std::vector<LaneGroup> groups_;
+    bool finalized_ = false;
+};
+
+} // namespace fvc::sim
+
+#endif // FVC_SIM_LANE_STATE_HH_

@@ -1,7 +1,11 @@
 #include "sim/multi_config.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <memory>
 
+#include "sim/lane_kernel.hh"
+#include "sim/simd_dispatch.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 
@@ -19,6 +23,19 @@ singlePassEnabled()
         fvc_warn("ignoring bad FVC_SINGLE_PASS value: ", env);
     }
     return true;
+}
+
+const char *
+replayKernelName(ReplayKernel kernel)
+{
+    switch (kernel) {
+      case ReplayKernel::Auto: return "auto";
+      case ReplayKernel::Legacy: return "legacy";
+      case ReplayKernel::LaneScalar: return "lane-scalar";
+      case ReplayKernel::LaneAvx2: return "lane-avx2";
+      case ReplayKernel::LaneAvx512: return "lane-avx512";
+    }
+    fvc_panic("unreachable replay kernel");
 }
 
 TagOnlyCache::TagOnlyCache(const cache::CacheConfig &config,
@@ -130,8 +147,14 @@ size_t
 MultiConfigSimulator::addDmc(const cache::CacheConfig &config)
 {
     fvc_assert(!ran_, "cells must be added before run()");
-    dmcs_.emplace_back(config);
-    cells_.push_back({false, dmcs_.size() - 1});
+    config.validate();
+    fvc_assert(config.write_policy == cache::WritePolicy::WriteBack,
+               "tag-only model requires a write-back cache "
+               "(write-through moves data on the hit path)");
+    Cell cell;
+    cell.is_fvc = false;
+    cell.dmc = config;
+    cells_.push_back(cell);
     return cells_.size() - 1;
 }
 
@@ -141,6 +164,15 @@ MultiConfigSimulator::addDmcFvc(const cache::CacheConfig &dmc,
                                 core::DmcFvcPolicy policy)
 {
     fvc_assert(!ran_, "cells must be added before run()");
+    dmc.validate();
+    fvc.validate();
+    fvc_assert(dmc.write_policy == cache::WritePolicy::WriteBack,
+               "count-only model requires a write-back DMC");
+    fvc_assert(dmc.line_bytes == fvc.line_bytes,
+               "FVC line size must match the main cache");
+    fvc_assert(fvc.wordsPerLine() <= 64,
+               "present mask holds at most 64 words per line");
+
     auto it = group_of_bits_.find(fvc.code_bits);
     if (it == group_of_bits_.end()) {
         // Same construction as harness::runDmcFvc: the profiled
@@ -152,12 +184,62 @@ MultiConfigSimulator::addDmcFvc(const cache::CacheConfig &dmc,
                  .first;
     }
 
-    systems_.push_back(std::make_unique<CountingDmcFvc>(
-        dmc, fvc, &encoding_groups_[it->second].encoder, policy,
-        &shared_image_));
-    system_group_.push_back(static_cast<unsigned>(it->second));
-    cells_.push_back({true, systems_.size() - 1});
+    Cell cell;
+    cell.is_fvc = true;
+    cell.dmc = dmc;
+    cell.fvc = fvc;
+    cell.policy = policy;
+    cell.enc_group = static_cast<unsigned>(it->second);
+    cells_.push_back(cell);
+    ++n_fvc_cells_;
     return cells_.size() - 1;
+}
+
+void
+MultiConfigSimulator::forceKernel(ReplayKernel kernel)
+{
+    fvc_assert(!ran_, "forceKernel() must precede run()");
+    if (kernel == ReplayKernel::LaneAvx2) {
+        fvc_assert(laneIsaAvailable(LaneIsa::Avx2),
+                   "AVX2 lane kernel not available");
+    } else if (kernel == ReplayKernel::LaneAvx512) {
+        fvc_assert(laneIsaAvailable(LaneIsa::Avx512),
+                   "AVX-512 lane kernel not available");
+    }
+    forced_ = kernel;
+}
+
+ReplayKernel
+MultiConfigSimulator::resolvedKernel() const
+{
+    fvc_assert(ran_, "resolvedKernel() before run()");
+    return used_;
+}
+
+ReplayKernel
+MultiConfigSimulator::resolveKernel() const
+{
+    if (forced_ != ReplayKernel::Auto)
+        return forced_;
+    if (simdMode() == SimdMode::Off)
+        return ReplayKernel::Legacy;
+    switch (bestLaneIsa()) {
+      case LaneIsa::Avx512: return ReplayKernel::LaneAvx512;
+      case LaneIsa::Avx2: return ReplayKernel::LaneAvx2;
+      case LaneIsa::Scalar: return ReplayKernel::LaneScalar;
+    }
+    fvc_panic("unreachable lane ISA");
+}
+
+void
+MultiConfigSimulator::installSharedImage()
+{
+    // The shared image starts exactly where each per-system image
+    // would: the preload image's interesting words.
+    initial_image_.forEachInteresting(
+        [this](Addr addr, Word value) {
+            shared_image_.write(addr, value);
+        });
 }
 
 void
@@ -165,18 +247,54 @@ MultiConfigSimulator::run()
 {
     fvc_assert(!ran_, "MultiConfigSimulator::run() runs once");
     ran_ = true;
+    cell_stats_.assign(cells_.size(), {});
+    cell_fvc_stats_.assign(cells_.size(), {});
 
-    if (!systems_.empty()) {
-        // The shared image starts exactly where each per-system
-        // image would: the preload image's interesting words.
-        initial_image_.forEachInteresting(
-            [this](Addr addr, Word value) {
-                shared_image_.write(addr, value);
-            });
+    used_ = resolveKernel();
+    logReplayKernelOnce(replayKernelName(used_));
+    if (used_ == ReplayKernel::Legacy)
+        runLegacy();
+    else
+        runLane(used_);
+}
+
+void
+MultiConfigSimulator::runLegacy()
+{
+    std::vector<TagOnlyCache> dmcs;
+    std::vector<size_t> dmc_cell;
+    std::vector<std::unique_ptr<CountingDmcFvc>> systems;
+    std::vector<size_t> system_cell;
+    std::vector<unsigned> system_group;
+    for (size_t i = 0; i < cells_.size(); ++i) {
+        const Cell &c = cells_[i];
+        if (c.is_fvc) {
+            systems.push_back(std::make_unique<CountingDmcFvc>(
+                c.dmc, c.fvc,
+                &encoding_groups_[c.enc_group].encoder, c.policy,
+                &shared_image_));
+            system_cell.push_back(i);
+            system_group.push_back(c.enc_group);
+        } else {
+            dmcs.emplace_back(c.dmc);
+            dmc_cell.push_back(i);
+        }
     }
 
-    const size_t n_dmcs = dmcs_.size();
-    const size_t n_systems = systems_.size();
+    if (!systems.empty())
+        installSharedImage();
+
+    const size_t n_dmcs = dmcs.size();
+    const size_t n_systems = systems.size();
+
+    // Mask buffers sized once from the largest chunk and reused:
+    // every word the replay loop reads is rewritten per chunk, so
+    // stale words past a shorter chunk's end are never consumed.
+    size_t max_chunk = 0;
+    for (const TraceChunk &chunk : trace_.chunks())
+        max_chunk = std::max(max_chunk, chunk.size());
+    for (auto &group : encoding_groups_)
+        group.mask.resize((max_chunk + 63) / 64);
 
     for (const TraceChunk &chunk : trace_.chunks()) {
         const size_t n = chunk.size();
@@ -189,7 +307,6 @@ MultiConfigSimulator::run()
         // column 8 at a time and every system with the same
         // code_bits shares the result.
         for (auto &group : encoding_groups_) {
-            group.mask.assign((n + 63) / 64, 0);
             for (size_t i = 0; i < n; i += 64) {
                 size_t span = n - i < 64 ? n - i : 64;
                 group.mask[i / 64] =
@@ -204,15 +321,15 @@ MultiConfigSimulator::run()
             const Addr addr = addrs[i];
 
             for (size_t d = 0; d < n_dmcs; ++d)
-                dmcs_[d].access(op, addr);
+                dmcs[d].access(op, addr);
 
             if (n_systems != 0) {
                 for (size_t s = 0; s < n_systems; ++s) {
                     const auto &mask =
-                        encoding_groups_[system_group_[s]].mask;
+                        encoding_groups_[system_group[s]].mask;
                     bool frequent =
                         (mask[i / 64] >> (i % 64)) & 1u;
-                    systems_[s]->access(op, addr, frequent);
+                    systems[s]->access(op, addr, frequent);
                 }
                 // Advance the shared image only after every system
                 // consumed the record: a miss during the store must
@@ -225,10 +342,132 @@ MultiConfigSimulator::run()
         }
     }
 
-    for (auto &dmc : dmcs_)
-        dmc.flush();
-    for (auto &system : systems_)
-        system->flush();
+    for (size_t d = 0; d < n_dmcs; ++d) {
+        dmcs[d].flush();
+        cell_stats_[dmc_cell[d]] = dmcs[d].stats();
+    }
+    for (size_t s = 0; s < n_systems; ++s) {
+        systems[s]->flush();
+        cell_stats_[system_cell[s]] = systems[s]->stats();
+        cell_fvc_stats_[system_cell[s]] = systems[s]->fvcStats();
+    }
+}
+
+void
+MultiConfigSimulator::runLane(ReplayKernel kernel)
+{
+    const bool has_fvc = n_fvc_cells_ != 0;
+    if (has_fvc)
+        installSharedImage();
+
+    LaneGroupSet lanes;
+    for (size_t i = 0; i < cells_.size(); ++i) {
+        const Cell &c = cells_[i];
+        if (c.is_fvc)
+            lanes.addFvcLane(i, c.dmc, c.fvc, c.policy, c.enc_group);
+        else
+            lanes.addDmcLane(i, c.dmc);
+    }
+    lanes.finalize();
+
+    LaneBlockFn fn = runLaneBlockScalar;
+    if (kernel == ReplayKernel::LaneAvx2)
+        fn = runLaneBlockAvx2;
+    else if (kernel == ReplayKernel::LaneAvx512)
+        fn = runLaneBlockAvx512;
+
+    std::vector<const BatchEncoder *> encoders;
+    for (auto &group : encoding_groups_)
+        encoders.push_back(&group.encoder);
+    const size_t n_groups = encoding_groups_.size();
+    FreqWordMap freq_map;
+    freq_map.init(encoders.data(), n_groups);
+
+    std::vector<uint64_t> freq(std::max<size_t>(n_groups, 1), 0);
+    Addr store_addr[kLaneBlockRecords];
+    Word store_val[kLaneBlockRecords];
+    uint8_t store_rec[kLaneBlockRecords];
+    BlockCtx ctx;
+    ctx.freq_masks = freq.data();
+    ctx.store_addr = store_addr;
+    ctx.store_val = store_val;
+    ctx.store_rec = store_rec;
+    ctx.image = &shared_image_;
+    ctx.freq_map = &freq_map;
+
+    for (const TraceChunk &chunk : trace_.chunks()) {
+        const size_t n = chunk.size();
+        const Addr *addrs = chunk.addr.data();
+        const Word *values = chunk.value.data();
+        const uint8_t *ops = chunk.op.data();
+
+        for (size_t i0 = 0; i0 < n; i0 += kLaneBlockRecords) {
+            const size_t span =
+                std::min(kLaneBlockRecords, n - i0);
+            uint64_t amask = 0, smask = 0, filter = 0;
+            uint32_t ns = 0;
+            for (size_t k = 0; k < span; ++k) {
+                const auto op = static_cast<trace::Op>(ops[i0 + k]);
+                if (op == trace::Op::Load) {
+                    amask |= uint64_t{1} << k;
+                } else if (op == trace::Op::Store) {
+                    amask |= uint64_t{1} << k;
+                    smask |= uint64_t{1} << k;
+                    filter |= uint64_t{1}
+                              << ((addrs[i0 + k] >> 5) & 63);
+                    store_addr[ns] = addrs[i0 + k];
+                    store_val[ns] = values[i0 + k];
+                    store_rec[ns] = static_cast<uint8_t>(k);
+                    ++ns;
+                }
+            }
+            if (amask == 0)
+                continue;
+
+            ctx.addrs = addrs + i0;
+            ctx.values = values + i0;
+            ctx.n = span;
+            ctx.access_mask = amask;
+            ctx.store_mask = smask;
+            ctx.n_stores = ns;
+            ctx.store_line_filter = filter;
+            if (has_fvc) {
+                for (size_t e = 0; e < n_groups; ++e)
+                    freq[e] =
+                        encoding_groups_[e].encoder.frequentMask(
+                            values + i0, span);
+            }
+
+            for (LaneGroup &g : lanes.groups())
+                fn(g, ctx);
+
+            // Advance the shared image only after every lane group
+            // consumed the block (in-block ordering is handled by
+            // the store-log overlay, see lane_state.hh). The
+            // frequent-bit mirror advances in lockstep; each
+            // store's bits are already in the block masks.
+            if (has_fvc) {
+                for (uint32_t j = 0; j < ns; ++j) {
+                    uint8_t fbits = 0;
+                    for (size_t e = 0; e < n_groups; ++e)
+                        fbits |= static_cast<uint8_t>(
+                            ((freq[e] >> store_rec[j]) & 1u) << e);
+                    freq_map.noteStore(store_addr[j], fbits);
+                    shared_image_.write(store_addr[j],
+                                        store_val[j]);
+                }
+            }
+        }
+    }
+
+    lanes.flush();
+    for (const LaneGroup &g : lanes.groups()) {
+        for (const Lane &lane : g.lanes) {
+            cell_stats_[lane.cell] = lane.stats;
+            if (g.is_fvc)
+                cell_fvc_stats_[lane.cell] = lane.fvc_stats;
+        }
+    }
 }
 
 const cache::CacheStats &
@@ -236,9 +475,7 @@ MultiConfigSimulator::stats(size_t cell) const
 {
     fvc_assert(ran_, "stats() before run()");
     fvc_assert(cell < cells_.size(), "bad cell index");
-    const Cell &c = cells_[cell];
-    return c.is_fvc ? systems_[c.index]->stats()
-                    : dmcs_[c.index].stats();
+    return cell_stats_[cell];
 }
 
 double
@@ -252,8 +489,7 @@ MultiConfigSimulator::fvcStats(size_t cell) const
 {
     fvc_assert(ran_, "fvcStats() before run()");
     fvc_assert(cell < cells_.size(), "bad cell index");
-    const Cell &c = cells_[cell];
-    return c.is_fvc ? &systems_[c.index]->fvcStats() : nullptr;
+    return cells_[cell].is_fvc ? &cell_fvc_stats_[cell] : nullptr;
 }
 
 } // namespace fvc::sim

@@ -15,7 +15,7 @@
  *    stays byte-identical to DmcSystem (the parity suite asserts
  *    all eight CacheStats fields).
  *
- *  - DMC+FVC cells run CountingDmcFvc (counting_fvc.hh): the full
+ *  - DMC+FVC cells run the count-only DMC+FVC protocol: the full
  *    transfer protocol over metadata only. Every value-dependent
  *    decision in the protocol asks "is this value frequent?" about
  *    a *newest* program-order value, so one shared functional image
@@ -27,6 +27,16 @@
  *    does NOT extend to the combined DMC+FVC system and a fused
  *    N-way update loop is used instead.
  *
+ * Two replay kernels produce the same counters (DESIGN.md §13):
+ *
+ *  - Legacy: the original fused loop over per-cell objects
+ *    (TagOnlyCache / CountingDmcFvc), one access() call per record
+ *    per cell. Selected by FVC_SIMD=off or forceKernel(Legacy).
+ *  - Lane: the SIMD lane kernel (lane_state.hh / lane_kernel.hh) —
+ *    per-config state as struct-of-arrays lane groups, records
+ *    batched per 64-record mask block, hot ops evaluated 8/16-wide
+ *    when AVX2/AVX-512 is available. The default.
+ *
  * Determinism: cells are updated in add order on one thread; the
  * engine holds no global state. Parallelism stays at the
  * (benchmark, trace) granularity via SweepRunner.
@@ -37,7 +47,6 @@
 
 #include <deque>
 #include <map>
-#include <memory>
 #include <vector>
 
 #include "cache/config.hh"
@@ -104,6 +113,22 @@ class TagOnlyCache
     uint32_t victimWay(uint32_t set);
 };
 
+/**
+ * Replay kernel selection. Auto resolves via FVC_SIMD and runtime
+ * ISA detection at run() time; the concrete values force one
+ * kernel (tests and benches pin them to compare engines).
+ */
+enum class ReplayKernel {
+    Auto,
+    Legacy,
+    LaneScalar,
+    LaneAvx2,
+    LaneAvx512,
+};
+
+/** "auto", "legacy", "lane-scalar", "lane-avx2", "lane-avx512". */
+const char *replayKernelName(ReplayKernel kernel);
+
 /** The single-pass sweep engine for one (benchmark, trace) pair. */
 class MultiConfigSimulator
 {
@@ -137,6 +162,16 @@ class MultiConfigSimulator
 
     size_t cellCount() const { return cells_.size(); }
 
+    /**
+     * Pin the replay kernel, overriding FVC_SIMD. Must be called
+     * before run(); forcing a lane ISA the binary/CPU cannot run is
+     * an error.
+     */
+    void forceKernel(ReplayKernel kernel);
+
+    /** The kernel run() actually used (valid after run()). */
+    ReplayKernel resolvedKernel() const;
+
     /** Replay the trace once, updating every cell. Call once. */
     void run();
 
@@ -152,8 +187,12 @@ class MultiConfigSimulator
   private:
     struct Cell
     {
-        bool is_fvc;
-        size_t index; // into dmcs_ or systems_
+        bool is_fvc = false;
+        cache::CacheConfig dmc;
+        core::FvcConfig fvc;
+        core::DmcFvcPolicy policy;
+        /** encoding_groups_ index (FVC cells only). */
+        unsigned enc_group = 0;
     };
 
     /** Systems sharing one encoding (same code_bits). */
@@ -174,18 +213,27 @@ class MultiConfigSimulator
     std::vector<Word> frequent_values_;
 
     std::vector<Cell> cells_;
-    std::vector<TagOnlyCache> dmcs_;
-    std::vector<std::unique_ptr<CountingDmcFvc>> systems_;
-    /** code_bits of each system, indexing encoding_groups_. */
-    std::vector<unsigned> system_group_;
+    size_t n_fvc_cells_ = 0;
     std::map<unsigned, size_t> group_of_bits_;
-    /** deque: growth must not relocate groups (systems hold
-     * pointers to their group's BatchEncoder). */
+    /** deque: growth must not relocate groups (the legacy engine
+     * hands out pointers to each group's BatchEncoder). */
     std::deque<EncodingGroup> encoding_groups_;
+
+    /** Post-run per-cell stats, filled by whichever kernel ran. */
+    std::vector<cache::CacheStats> cell_stats_;
+    std::vector<core::FvcStats> cell_fvc_stats_;
 
     /** One program-order image shared by every DMC+FVC cell. */
     memmodel::FunctionalMemory shared_image_;
+
+    ReplayKernel forced_ = ReplayKernel::Auto;
+    ReplayKernel used_ = ReplayKernel::Auto;
     bool ran_ = false;
+
+    ReplayKernel resolveKernel() const;
+    void installSharedImage();
+    void runLegacy();
+    void runLane(ReplayKernel kernel);
 };
 
 } // namespace fvc::sim

@@ -1,0 +1,82 @@
+#include "sim/simd_dispatch.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/lane_kernel.hh"
+#include "util/logging.hh"
+
+namespace fvc::sim {
+
+SimdMode
+simdMode()
+{
+    if (const char *env = std::getenv("FVC_SIMD")) {
+        if (std::strcmp(env, "auto") == 0)
+            return SimdMode::Auto;
+        if (std::strcmp(env, "on") == 0)
+            return SimdMode::On;
+        if (std::strcmp(env, "off") == 0)
+            return SimdMode::Off;
+        fvc_warn("ignoring bad FVC_SIMD value: ", env,
+                 " (want auto, on, or off)");
+    }
+    return SimdMode::Auto;
+}
+
+const char *
+laneIsaName(LaneIsa isa)
+{
+    switch (isa) {
+      case LaneIsa::Scalar: return "scalar";
+      case LaneIsa::Avx2: return "avx2";
+      case LaneIsa::Avx512: return "avx512";
+    }
+    fvc_panic("unreachable lane ISA");
+}
+
+bool
+laneIsaAvailable(LaneIsa isa)
+{
+    switch (isa) {
+      case LaneIsa::Scalar:
+        return true;
+      case LaneIsa::Avx2:
+        return laneKernelAvx2Compiled() &&
+               __builtin_cpu_supports("avx2");
+      case LaneIsa::Avx512:
+        return laneKernelAvx512Compiled() &&
+               __builtin_cpu_supports("avx512f");
+    }
+    fvc_panic("unreachable lane ISA");
+}
+
+LaneIsa
+bestLaneIsa()
+{
+    if (laneIsaAvailable(LaneIsa::Avx512))
+        return LaneIsa::Avx512;
+    if (laneIsaAvailable(LaneIsa::Avx2))
+        return LaneIsa::Avx2;
+    return LaneIsa::Scalar;
+}
+
+void
+logReplayKernelOnce(const char *kernel_name)
+{
+    static bool logged = false;
+    if (logged)
+        return;
+    logged = true;
+    fvc_inform("multi-config replay kernel: ", kernel_name);
+}
+
+std::string
+simdKernelContextString()
+{
+    if (simdMode() == SimdMode::Off)
+        return "off";
+    return laneIsaName(bestLaneIsa());
+}
+
+} // namespace fvc::sim

@@ -1,0 +1,362 @@
+/**
+ * @file
+ * Parity suite for the SIMD lane-parallel replay kernel: every
+ * kernel level (legacy fused loop, lane-scalar, and whichever of
+ * lane-avx2 / lane-avx512 this machine can run) must produce
+ * bit-identical CacheStats, FvcStats, and occupancy doubles on
+ * identical grids — across the SPECint95 profiles, randomized
+ * geometries, non-multiple-of-lane-width cell counts, and mixed
+ * DMC-only / DMC+FVC grids.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/runner.hh"
+#include "sim/multi_config.hh"
+#include "sim/simd_dispatch.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+#include "workload/profile.hh"
+
+namespace {
+
+using namespace fvc;
+
+/** An env var value restored on scope exit. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const char *value) : name_(name)
+    {
+        if (const char *old = std::getenv(name)) {
+            had_old_ = true;
+            old_ = old;
+        }
+        if (value)
+            ::setenv(name, value, 1);
+        else
+            ::unsetenv(name);
+    }
+    ~ScopedEnv()
+    {
+        if (had_old_)
+            ::setenv(name_.c_str(), old_.c_str(), 1);
+        else
+            ::unsetenv(name_.c_str());
+    }
+
+  private:
+    std::string name_;
+    std::string old_;
+    bool had_old_ = false;
+};
+
+struct GridCell
+{
+    bool is_fvc = false;
+    cache::CacheConfig dmc;
+    core::FvcConfig fvc;
+    core::DmcFvcPolicy policy;
+};
+
+struct CellResult
+{
+    cache::CacheStats stats;
+    core::FvcStats fvc;
+    bool has_fvc = false;
+};
+
+std::vector<CellResult>
+runGrid(const harness::PreparedTrace &trace,
+        const std::vector<GridCell> &cells,
+        sim::ReplayKernel kernel)
+{
+    sim::MultiConfigSimulator engine(trace.columns,
+                                     trace.initial_image,
+                                     trace.frequent_values);
+    engine.forceKernel(kernel);
+    for (const GridCell &c : cells) {
+        if (c.is_fvc)
+            engine.addDmcFvc(c.dmc, c.fvc, c.policy);
+        else
+            engine.addDmc(c.dmc);
+    }
+    engine.run();
+    EXPECT_EQ(engine.resolvedKernel(), kernel);
+
+    std::vector<CellResult> out;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        CellResult r;
+        r.stats = engine.stats(i);
+        if (const core::FvcStats *f = engine.fvcStats(i)) {
+            r.has_fvc = true;
+            r.fvc = *f;
+        }
+        out.push_back(r);
+    }
+    return out;
+}
+
+/** The lane kernels this binary + CPU can actually run. */
+std::vector<sim::ReplayKernel>
+availableLaneKernels()
+{
+    std::vector<sim::ReplayKernel> out = {
+        sim::ReplayKernel::LaneScalar};
+    if (sim::laneIsaAvailable(sim::LaneIsa::Avx2))
+        out.push_back(sim::ReplayKernel::LaneAvx2);
+    if (sim::laneIsaAvailable(sim::LaneIsa::Avx512))
+        out.push_back(sim::ReplayKernel::LaneAvx512);
+    return out;
+}
+
+void
+expectCellEqual(const CellResult &want, const CellResult &got,
+                const std::string &what)
+{
+    EXPECT_EQ(want.stats.read_hits, got.stats.read_hits) << what;
+    EXPECT_EQ(want.stats.read_misses, got.stats.read_misses) << what;
+    EXPECT_EQ(want.stats.write_hits, got.stats.write_hits) << what;
+    EXPECT_EQ(want.stats.write_misses, got.stats.write_misses)
+        << what;
+    EXPECT_EQ(want.stats.fills, got.stats.fills) << what;
+    EXPECT_EQ(want.stats.writebacks, got.stats.writebacks) << what;
+    EXPECT_EQ(want.stats.fetch_bytes, got.stats.fetch_bytes) << what;
+    EXPECT_EQ(want.stats.writeback_bytes, got.stats.writeback_bytes)
+        << what;
+    ASSERT_EQ(want.has_fvc, got.has_fvc) << what;
+    if (!want.has_fvc)
+        return;
+    EXPECT_EQ(want.fvc.fvc_read_hits, got.fvc.fvc_read_hits) << what;
+    EXPECT_EQ(want.fvc.fvc_write_hits, got.fvc.fvc_write_hits)
+        << what;
+    EXPECT_EQ(want.fvc.partial_misses, got.fvc.partial_misses)
+        << what;
+    EXPECT_EQ(want.fvc.write_allocations, got.fvc.write_allocations)
+        << what;
+    EXPECT_EQ(want.fvc.insertions, got.fvc.insertions) << what;
+    EXPECT_EQ(want.fvc.insertions_skipped,
+              got.fvc.insertions_skipped)
+        << what;
+    EXPECT_EQ(want.fvc.fvc_writebacks, got.fvc.fvc_writebacks)
+        << what;
+    EXPECT_EQ(want.fvc.occupancy_samples, got.fvc.occupancy_samples)
+        << what;
+    // Exact double comparison: the occupancy accumulation order
+    // must match bit-for-bit, not just approximately.
+    EXPECT_EQ(want.fvc.occupancy_sum, got.fvc.occupancy_sum) << what;
+}
+
+void
+expectKernelsAgree(const harness::PreparedTrace &trace,
+                   const std::vector<GridCell> &cells,
+                   const std::string &what)
+{
+    auto want = runGrid(trace, cells, sim::ReplayKernel::Legacy);
+    for (sim::ReplayKernel kernel : availableLaneKernels()) {
+        auto got = runGrid(trace, cells, kernel);
+        ASSERT_EQ(want.size(), got.size());
+        for (size_t i = 0; i < want.size(); ++i) {
+            expectCellEqual(want[i], got[i],
+                            what + " " +
+                                sim::replayKernelName(kernel) +
+                                " cell " + std::to_string(i));
+        }
+    }
+}
+
+// Every SPECint95 profile, a mixed grid: bare DMC lanes across
+// replacement policies plus DMC+FVC lanes across code widths and
+// occupancy intervals (including a small interval that forces the
+// per-access countdown path, and 0 = never sample).
+TEST(SimdKernel, AllKernelsMatchOnAllSpecIntProfiles)
+{
+    uint64_t seed = 23;
+    for (auto bench : workload::allSpecInt()) {
+        auto profile = workload::specIntProfile(bench);
+        auto trace = harness::prepareTrace(profile, 25000, seed);
+
+        std::vector<GridCell> cells;
+        GridCell bare;
+        bare.dmc.size_bytes = 8 * 1024;
+        bare.dmc.line_bytes = 32;
+        cells.push_back(bare);
+        bare.dmc.size_bytes = 16 * 1024;
+        bare.dmc.assoc = 2;
+        bare.dmc.replacement = cache::Replacement::FIFO;
+        cells.push_back(bare);
+        bare.dmc.assoc = 4;
+        bare.dmc.replacement = cache::Replacement::Random;
+        cells.push_back(bare);
+
+        for (unsigned bits : {1u, 2u, 3u}) {
+            GridCell cell;
+            cell.is_fvc = true;
+            cell.dmc.size_bytes = 8u * 1024 << (bits - 1);
+            cell.dmc.line_bytes = 32;
+            cell.fvc.entries = 256;
+            cell.fvc.line_bytes = 32;
+            cell.fvc.code_bits = bits;
+            // bits=1: the per-access countdown path fires in nearly
+            // every block; bits=2: sampling disabled entirely.
+            cell.policy.occupancy_sample_interval =
+                bits == 1 ? 48 : bits == 2 ? 0 : 4096;
+            cells.push_back(cell);
+        }
+
+        expectKernelsAgree(trace, cells, profile.name);
+        ++seed;
+    }
+}
+
+// Randomized geometries (sizes, lines, associativities, policies,
+// FVC shapes) over a few profiles, with deliberately awkward cell
+// counts — 5 and 13 are not multiples of any vector width, so lane
+// groups end up ragged.
+TEST(SimdKernel, RandomizedGeometriesMatch)
+{
+    const std::vector<uint32_t> sizes = {4096, 8192, 16384, 32768};
+    const std::vector<uint32_t> line_sizes = {16, 32, 64};
+    const std::vector<uint32_t> assocs = {1, 2, 4};
+    const std::vector<uint32_t> entry_counts = {64, 128, 256, 512};
+    const std::vector<cache::Replacement> policies = {
+        cache::Replacement::LRU, cache::Replacement::FIFO,
+        cache::Replacement::Random};
+    const std::vector<workload::SpecInt> benches = {
+        workload::SpecInt::Go099, workload::SpecInt::Compress129,
+        workload::SpecInt::Vortex147};
+
+    util::Rng rng(20260807);
+    uint64_t seed = 5;
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        auto trace = harness::prepareTrace(profile, 20000, seed);
+
+        for (size_t n_cells : {5u, 13u}) {
+            std::vector<GridCell> cells;
+            for (size_t i = 0; i < n_cells; ++i) {
+                GridCell cell;
+                cell.dmc.size_bytes =
+                    sizes[rng.below(sizes.size())];
+                cell.dmc.line_bytes =
+                    line_sizes[rng.below(line_sizes.size())];
+                cell.dmc.assoc = assocs[rng.below(assocs.size())];
+                cell.dmc.replacement =
+                    policies[rng.below(policies.size())];
+                cell.is_fvc = rng.below(2) == 1;
+                if (cell.is_fvc) {
+                    cell.fvc.entries =
+                        entry_counts[rng.below(entry_counts.size())];
+                    cell.fvc.line_bytes = cell.dmc.line_bytes;
+                    cell.fvc.code_bits =
+                        1 + static_cast<unsigned>(rng.below(3));
+                    cell.fvc.assoc =
+                        assocs[rng.below(assocs.size())];
+                    cell.policy.skip_barren_insertions =
+                        rng.below(2) == 1;
+                    cell.policy.write_allocate_frequent =
+                        rng.below(2) == 1;
+                    cell.policy.occupancy_sample_interval =
+                        rng.below(2) == 1 ? 512 : 4096;
+                }
+                cells.push_back(cell);
+            }
+            expectKernelsAgree(trace, cells,
+                               profile.name + " n=" +
+                                   std::to_string(n_cells));
+        }
+        ++seed;
+    }
+}
+
+// Degenerate grid shapes: a single cell, a DMC-only grid (no shared
+// image, no encoders), and an FVC-only grid.
+TEST(SimdKernel, DegenerateGridShapes)
+{
+    auto trace = harness::prepareTrace(
+        workload::specIntProfile(workload::SpecInt::Li130), 20000,
+        17);
+
+    GridCell bare;
+    bare.dmc.size_bytes = 8 * 1024;
+    bare.dmc.line_bytes = 32;
+
+    GridCell fvc;
+    fvc.is_fvc = true;
+    fvc.dmc.size_bytes = 16 * 1024;
+    fvc.dmc.line_bytes = 32;
+    fvc.fvc.entries = 256;
+    fvc.fvc.line_bytes = 32;
+    fvc.fvc.code_bits = 3;
+
+    expectKernelsAgree(trace, {bare}, "single bare");
+    expectKernelsAgree(trace, {fvc}, "single fvc");
+    expectKernelsAgree(trace, {bare, bare, bare}, "dmc-only");
+    expectKernelsAgree(trace, {fvc, fvc, fvc}, "fvc-only");
+}
+
+TEST(SimdKernel, EnvKnobStrictParse)
+{
+    {
+        ScopedEnv env("FVC_SIMD", nullptr);
+        EXPECT_EQ(sim::simdMode(), sim::SimdMode::Auto);
+    }
+    {
+        ScopedEnv env("FVC_SIMD", "auto");
+        EXPECT_EQ(sim::simdMode(), sim::SimdMode::Auto);
+    }
+    {
+        ScopedEnv env("FVC_SIMD", "on");
+        EXPECT_EQ(sim::simdMode(), sim::SimdMode::On);
+    }
+    {
+        ScopedEnv env("FVC_SIMD", "off");
+        EXPECT_EQ(sim::simdMode(), sim::SimdMode::Off);
+    }
+    {
+        // Garbage is a warning and falls back to Auto, not a
+        // silent engine switch (strict parse, like FVC_JOBS).
+        ScopedEnv env("FVC_SIMD", "ON");
+        uint64_t warns = util::warnCount();
+        EXPECT_EQ(sim::simdMode(), sim::SimdMode::Auto);
+        EXPECT_GT(util::warnCount(), warns);
+    }
+}
+
+// FVC_SIMD drives the un-forced engine: off pins the legacy loop,
+// on/auto dispatch the lane kernel at the best available ISA.
+TEST(SimdKernel, EnvKnobSelectsEngine)
+{
+    auto trace = harness::prepareTrace(
+        workload::specIntProfile(workload::SpecInt::Go099), 5000,
+        29);
+    GridCell cell;
+    cell.dmc.size_bytes = 8 * 1024;
+    cell.dmc.line_bytes = 32;
+
+    auto resolved = [&](const char *mode) {
+        ScopedEnv env("FVC_SIMD", mode);
+        sim::MultiConfigSimulator engine(trace.columns,
+                                         trace.initial_image,
+                                         trace.frequent_values);
+        engine.addDmc(cell.dmc);
+        engine.run();
+        return engine.resolvedKernel();
+    };
+
+    EXPECT_EQ(resolved("off"), sim::ReplayKernel::Legacy);
+
+    sim::ReplayKernel expect_lane = sim::ReplayKernel::LaneScalar;
+    if (sim::laneIsaAvailable(sim::LaneIsa::Avx512))
+        expect_lane = sim::ReplayKernel::LaneAvx512;
+    else if (sim::laneIsaAvailable(sim::LaneIsa::Avx2))
+        expect_lane = sim::ReplayKernel::LaneAvx2;
+    EXPECT_EQ(resolved("on"), expect_lane);
+    EXPECT_EQ(resolved("auto"), expect_lane);
+}
+
+} // namespace

@@ -91,6 +91,37 @@ def check_simd_isas(base_isa, new_isa):
     )
 
 
+def load_workers(path):
+    """The fvc_workers context of a result file.
+
+    Files recorded before the context existed count as "serial":
+    they predate the process fabric, so the in-process thread
+    backend is what actually ran.
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return str(doc.get("context", {}).get("fvc_workers", "serial"))
+
+
+def check_worker_counts(base_workers, new_workers):
+    """Error string when two runs' fabric worker counts differ,
+    else None.
+
+    A fabric run forks FVC_WORKERS processes and pays fork, lease
+    and spill-file overhead the serial path never sees; diffing a
+    4-worker run against a serial one reports the backend switch as
+    a perf change. Only like-for-like runs are comparable.
+    """
+    if base_workers == new_workers:
+        return None
+    return (
+        f"fabric worker-count mismatch: baseline ran with "
+        f"fvc_workers={base_workers!r} but new ran with "
+        f"{new_workers!r}; rerun both with the same FVC_WORKERS "
+        f"setting"
+    )
+
+
 def check_store_states(base_state, new_state):
     """Error string when two runs' trace-store states cannot be
     compared, else None.
@@ -199,6 +230,15 @@ def self_test():
     assert check_simd_isas("avx512", "avx512") is None
     assert check_simd_isas("scalar", "scalar") is None
 
+    # 8. Mismatched fabric worker counts refuse the comparison;
+    #    equal counts (including both predating the context) are
+    #    fine.
+    assert check_worker_counts("4", "serial") is not None
+    assert check_worker_counts("serial", "2") is not None
+    assert check_worker_counts("2", "4") is not None
+    assert check_worker_counts("4", "4") is None
+    assert check_worker_counts("serial", "serial") is None
+
     print("compare_bench.py self-test: all checks passed")
     return 0
 
@@ -232,6 +272,11 @@ def main(argv):
         return 1
     mismatch = check_simd_isas(load_simd_isa(args.baseline),
                                load_simd_isa(args.new))
+    if mismatch:
+        print(f"error: {mismatch}", file=sys.stderr)
+        return 1
+    mismatch = check_worker_counts(load_workers(args.baseline),
+                                   load_workers(args.new))
     if mismatch:
         print(f"error: {mismatch}", file=sys.stderr)
         return 1

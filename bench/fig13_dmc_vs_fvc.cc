@@ -15,6 +15,7 @@
 #include <cstdio>
 
 #include "core/size_model.hh"
+#include "fabric/fabric.hh"
 #include "harness/paper_data.hh"
 #include "harness/parallel.hh"
 #include "harness/report.hh"
@@ -62,7 +63,60 @@ main()
     // benchmark, geometry) order.
     std::vector<std::optional<double>> doubled_rates;
     std::vector<std::optional<double>> fvc_rates;
-    if (sim::singlePassEnabled()) {
+    if (fabric::configuredWorkers()) {
+        // Process backend (FVC_WORKERS): the same cells as the
+        // per-cell path below, submitted in the same flat orders,
+        // so the rendered figure is byte-identical to a serial run
+        // for every worker count, crash schedule, or resume point.
+        fabric::FabricRunner runner;
+        for (auto bench : benches) {
+            for (const auto &row : kRows) {
+                fabric::CellSpec cell;
+                cell.bench = bench;
+                cell.accesses = accesses;
+                cell.seed = 23;
+                cell.dmc.size_bytes = row.bigger_kb * 1024;
+                cell.dmc.line_bytes = row.line_words * 4;
+                runner.submit(cell);
+            }
+        }
+        for (unsigned code_bits : code_bit_sections) {
+            for (auto bench : benches) {
+                for (const auto &row : kRows) {
+                    fabric::CellSpec cell;
+                    cell.bench = bench;
+                    cell.accesses = accesses;
+                    cell.seed = 23;
+                    cell.dmc.size_bytes = row.dmc_kb * 1024;
+                    cell.dmc.line_bytes = row.line_words * 4;
+                    cell.fvc.entries = 512;
+                    cell.fvc.line_bytes = cell.dmc.line_bytes;
+                    cell.fvc.code_bits = code_bits;
+                    cell.has_fvc = true;
+                    runner.submit(cell);
+                }
+            }
+        }
+        const size_t total = runner.pending();
+        const size_t doubled_count = benches.size() * kRows.size();
+        fabric::FabricOutcome outcome = runner.run();
+        if (!outcome.failures.empty()) {
+            harness::reportSweepFailures(
+                fabric::toJobFailures(outcome), total,
+                "Figure 13 fabric sweep");
+        }
+        for (size_t i = 0; i < total; ++i) {
+            std::optional<double> rate;
+            if (outcome.results[i]) {
+                rate =
+                    outcome.results[i]->cache.missRatePercent();
+            }
+            if (i < doubled_count)
+                doubled_rates.push_back(rate);
+            else
+                fvc_rates.push_back(rate);
+        }
+    } else if (sim::singlePassEnabled()) {
         // One job per benchmark: cells 0..6 are the doubled DMCs
         // (kRows order), then 7 per code-bits section. The flat
         // vectors are re-assembled from the per-benchmark groups

@@ -11,6 +11,7 @@
 
 #include "cache/cache_system.hh"
 #include "core/dmc_fvc_system.hh"
+#include "fabric/fabric.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
 #include "profiling/value_table.hh"
@@ -502,6 +503,16 @@ main(int argc, char **argv)
     // different ISAs.
     benchmark::AddCustomContext("fvc_simd_isa",
                                 fvc::sim::simdKernelContextString());
+    // How many fabric worker processes FVC_WORKERS requests, or
+    // "serial" when unset (the in-process path ran). Forked sweeps
+    // pay fork/lease/spill overhead the serial path never sees, so
+    // compare_bench.py refuses to diff runs recorded under
+    // different worker counts.
+    auto fabric_workers = fvc::fabric::configuredWorkers();
+    benchmark::AddCustomContext(
+        "fvc_workers", fabric_workers
+                           ? std::to_string(*fabric_workers)
+                           : std::string("serial"));
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -1,0 +1,110 @@
+#include "fabric/cell.hh"
+
+#include "cache/cache_system.hh"
+#include "harness/runner.hh"
+#include "harness/trace_repo.hh"
+#include "workload/fingerprint.hh"
+
+namespace fvc::fabric {
+
+namespace {
+
+/** splitmix64 finalizer (same mixer the trace store key uses). */
+uint64_t
+mix64(uint64_t z)
+{
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+harness::TraceKey
+traceKey(const CellSpec &cell)
+{
+    auto profile = workload::specIntProfile(cell.bench, cell.input);
+    harness::TraceKey key;
+    key.profile = profile.name;
+    key.profile_hash = workload::profileFingerprint(profile);
+    key.accesses = cell.accesses;
+    key.seed = cell.seed;
+    key.top_k = cell.top_k;
+    key.gen_shards = harness::genShards();
+    return key;
+}
+
+} // namespace
+
+std::string
+CellSpec::describe() const
+{
+    std::string out =
+        workload::specIntName(bench) + " " + dmc.describe();
+    if (has_fvc)
+        out += " + " + fvc.describe();
+    return out;
+}
+
+uint64_t
+cellTraceHash(const CellSpec &cell)
+{
+    // The same content key the persistent trace store files are
+    // addressed by: equal hashes really do mean "same mapped file".
+    return harness::storeContentKey(traceKey(cell));
+}
+
+uint64_t
+cellFingerprint(const CellSpec &cell)
+{
+    uint64_t h = cellTraceHash(cell);
+    h = mix64(h ^ cell.dmc.size_bytes);
+    h = mix64(h ^ cell.dmc.line_bytes);
+    h = mix64(h ^ cell.dmc.assoc);
+    h = mix64(h ^ static_cast<uint64_t>(cell.dmc.replacement));
+    h = mix64(h ^ static_cast<uint64_t>(cell.dmc.write_policy));
+    h = mix64(h ^ (cell.has_fvc ? 1u : 0u));
+    if (cell.has_fvc) {
+        h = mix64(h ^ cell.fvc.entries);
+        h = mix64(h ^ cell.fvc.line_bytes);
+        h = mix64(h ^ cell.fvc.code_bits);
+        h = mix64(h ^ cell.fvc.assoc);
+        h = mix64(h ^ (cell.policy.skip_barren_insertions ? 2u : 0u) ^
+                  (cell.policy.write_allocate_frequent ? 4u : 0u));
+        h = mix64(h ^ cell.policy.occupancy_sample_interval);
+    }
+    return h;
+}
+
+uint64_t
+sweepHash(const std::vector<CellSpec> &cells)
+{
+    uint64_t h = mix64(cells.size());
+    for (const auto &cell : cells)
+        h = mix64(h ^ cellFingerprint(cell));
+    return h;
+}
+
+CellStats
+simulateCell(const CellSpec &cell)
+{
+    auto profile = workload::specIntProfile(cell.bench, cell.input);
+    auto trace = harness::sharedTrace(profile, cell.accesses,
+                                      cell.seed, cell.top_k);
+    CellStats stats;
+    if (!cell.has_fvc) {
+        cache::DmcSystem system(cell.dmc);
+        harness::replayFast(*trace, system);
+        stats.cache = system.stats();
+        return stats;
+    }
+    core::FrequentValueEncoding encoding(trace->frequent_values,
+                                         cell.fvc.code_bits);
+    core::DmcFvcSystem system(cell.dmc, cell.fvc,
+                              std::move(encoding), cell.policy);
+    harness::replayFast(*trace, system);
+    stats.cache = system.stats();
+    stats.fvc = system.fvcStats();
+    return stats;
+}
+
+} // namespace fvc::fabric

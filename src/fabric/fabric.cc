@@ -1,0 +1,584 @@
+/**
+ * @file
+ * The fabric coordinator: fork, supervise, reclaim, merge.
+ *
+ * See fabric.hh for the contract. The coordinator's supervise loop
+ * is deliberately simple — reap children, reclaim expired leases
+ * (SIGKILLing live-but-stuck owners first; SIGKILL works on a
+ * SIGSTOPped process), respawn replacements while work remains, and
+ * validate at the completion barrier that every Done cell is backed
+ * by a CRC-valid record, demoting the ones that are not. All result
+ * truth lives in the spill records and the checkpoint; the queue is
+ * only scheduling state and is discarded at the end.
+ */
+
+#include "fabric/fabric.hh"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+
+#include <dirent.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include "fabric/queue.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::fabric {
+
+namespace {
+
+std::string
+hex64(uint64_t v)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+bool
+pidAlive(pid_t pid)
+{
+    if (pid <= 0)
+        return false;
+    return ::kill(pid, 0) == 0 || errno == EPERM;
+}
+
+void
+sleepMs(uint64_t ms)
+{
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1000);
+    ts.tv_nsec = static_cast<long>((ms % 1000) * 1000000);
+    ::nanosleep(&ts, nullptr);
+}
+
+/** mkdir -p (each component; EEXIST is success). */
+void
+makeDirs(const std::string &path)
+{
+    for (size_t pos = 1; pos <= path.size(); ++pos) {
+        if (pos != path.size() && path[pos] != '/')
+            continue;
+        std::string prefix = path.substr(0, pos);
+        if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+            fvc_warn("fabric: mkdir ", prefix, ": ",
+                     std::strerror(errno));
+    }
+}
+
+/** All decimal digits? (strict pid parsing in file names). */
+std::optional<pid_t>
+parsePid(const std::string &text)
+{
+    auto v = util::parseUint(text);
+    if (!v || *v == 0 || *v > 0x7fffffffull)
+        return std::nullopt;
+    return static_cast<pid_t>(*v);
+}
+
+std::string
+checkpointPath(const std::string &dir, uint64_t sweep_hash)
+{
+    return dir + "/checkpoint-" + hex64(sweep_hash) + ".fvcr";
+}
+
+/** A coordinator-side handle on one forked worker. */
+struct WorkerProc
+{
+    pid_t pid = 0;
+    unsigned id = 0;
+    /** The worker's spill file before (".part") and after
+     * (".spill") its atomic publish rename. */
+    std::string part;
+    std::string spill;
+    bool alive = true;
+};
+
+uint64_t
+makeRunId()
+{
+    struct timespec ts;
+    ::clock_gettime(CLOCK_REALTIME, &ts);
+    uint64_t z = static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+                 static_cast<uint64_t>(ts.tv_nsec);
+    z ^= static_cast<uint64_t>(::getpid()) << 48;
+    z += 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return z ? z : 1;
+}
+
+/** Read one worker's spill file (.part, or .spill if published)
+ * and fold its records into @p records (first record wins). */
+void
+harvestOne(const WorkerProc &proc,
+           std::unordered_map<uint64_t, SpillRecord> &records,
+           FabricOutcome &out)
+{
+    // The worker renames .part -> .spill on clean exit; checking
+    // spill, part, then spill again closes the window where the
+    // rename lands between the first two checks.
+    for (const std::string &path :
+         {proc.spill, proc.part, proc.spill}) {
+        auto contents = readSpillFile(path);
+        if (!contents.ok())
+            continue;
+        out.rejected_frames += contents.value().rejected_frames;
+        for (const auto &record : contents.value().records)
+            records.emplace(record.fingerprint, record);
+        return;
+    }
+}
+
+} // namespace
+
+std::optional<unsigned>
+configuredWorkers()
+{
+    const char *env = std::getenv("FVC_WORKERS");
+    if (!env || !*env)
+        return std::nullopt;
+    auto v = util::parseUint(env);
+    if (!v || *v == 0 || *v > 1024) {
+        fvc_warn("ignoring invalid FVC_WORKERS=\"", env,
+                 "\" (want a positive integer)");
+        return std::nullopt;
+    }
+    return static_cast<unsigned>(*v);
+}
+
+uint64_t
+leaseMs()
+{
+    constexpr uint64_t kDefault = 2000;
+    const char *env = std::getenv("FVC_LEASE_MS");
+    if (!env || !*env)
+        return kDefault;
+    auto v = util::parseUint(env);
+    if (!v || *v < 20) {
+        fvc_warn("ignoring invalid FVC_LEASE_MS=\"", env,
+                 "\" (want an integer >= 20)");
+        return kDefault;
+    }
+    return *v;
+}
+
+bool
+fabricDirConfigured()
+{
+    const char *env = std::getenv("FVC_FABRIC_DIR");
+    return env && *env;
+}
+
+std::string
+fabricDir()
+{
+    const char *env = std::getenv("FVC_FABRIC_DIR");
+    if (env && *env)
+        return env;
+    const char *tmp = std::getenv("TMPDIR");
+    std::string base = (tmp && *tmp) ? tmp : "/tmp";
+    return base + "/fvc-fabric-" + std::to_string(::getpid());
+}
+
+void
+cleanupStaleFabricFiles(const std::string &dir)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (!d)
+        return;
+    std::vector<std::string> stale_spills;
+    std::vector<std::string> stale_other;
+    while (struct dirent *entry = ::readdir(d)) {
+        std::string name = entry->d_name;
+        // queue-<pid>.fvcq
+        if (name.rfind("queue-", 0) == 0 &&
+            name.size() > 11 &&
+            name.compare(name.size() - 5, 5, ".fvcq") == 0) {
+            auto pid = parsePid(name.substr(6, name.size() - 11));
+            if (pid && !pidAlive(*pid))
+                stale_other.push_back(name);
+            continue;
+        }
+        // checkpoint-<hash>.fvcr.tmp.<pid> (crashed mid-publish)
+        size_t tmp_at = name.find(".fvcr.tmp.");
+        if (tmp_at != std::string::npos) {
+            auto pid = parsePid(name.substr(tmp_at + 10));
+            if (pid && !pidAlive(*pid))
+                stale_other.push_back(name);
+            continue;
+        }
+        // w<id>-<pid>.part / w<id>-<pid>.spill
+        if (name.size() > 2 && name[0] == 'w') {
+            size_t dot = name.rfind('.');
+            size_t dash = name.rfind('-');
+            if (dot == std::string::npos ||
+                dash == std::string::npos || dash > dot)
+                continue;
+            std::string ext = name.substr(dot);
+            if (ext != ".part" && ext != ".spill")
+                continue;
+            auto pid =
+                parsePid(name.substr(dash + 1, dot - dash - 1));
+            if (pid && !pidAlive(*pid))
+                stale_spills.push_back(name);
+            continue;
+        }
+    }
+    ::closedir(d);
+
+    // A dead worker's records are resume state, not garbage:
+    // consolidate them into their sweep's checkpoint first.
+    for (const auto &name : stale_spills) {
+        std::string path = dir + "/" + name;
+        auto contents = readSpillFile(path);
+        if (contents.ok() && contents.value().header &&
+            !contents.value().records.empty()) {
+            uint64_t sweep = contents.value().header->sweep_hash;
+            if (auto err = mergeIntoCheckpoint(
+                    checkpointPath(dir, sweep),
+                    contents.value().records)) {
+                fvc_warn("fabric: stale spill harvest: ",
+                         err->describe());
+                continue; // keep the spill; records still safe
+            }
+        }
+        ::unlink(path.c_str());
+    }
+    for (const auto &name : stale_other)
+        ::unlink((dir + "/" + name).c_str());
+}
+
+std::vector<harness::JobFailure>
+toJobFailures(const FabricOutcome &outcome)
+{
+    std::vector<harness::JobFailure> failures;
+    failures.reserve(outcome.failures.size());
+    for (const auto &failure : outcome.failures) {
+        harness::JobFailure jf;
+        jf.index = failure.index;
+        jf.message = failure.message;
+        jf.attempts = std::max(1u, failure.attempts);
+        failures.push_back(std::move(jf));
+    }
+    return failures;
+}
+
+FabricRunner::FabricRunner(FabricOptions options)
+    : options_(std::move(options))
+{
+}
+
+size_t
+FabricRunner::submit(CellSpec cell)
+{
+    cells_.push_back(std::move(cell));
+    return cells_.size() - 1;
+}
+
+FabricOutcome
+FabricRunner::run()
+{
+    std::vector<CellSpec> cells = std::move(cells_);
+    cells_.clear();
+    const size_t n = cells.size();
+
+    FabricOutcome out;
+    out.run_id = makeRunId();
+    out.results.resize(n);
+    out.meta.resize(n);
+    if (n == 0)
+        return out;
+
+    const unsigned workers = std::max(
+        1u, options_.workers ? options_.workers
+                             : configuredWorkers().value_or(1));
+    const uint64_t lease =
+        options_.lease_ms ? options_.lease_ms : leaseMs();
+    const unsigned retries = options_.retries
+                                 ? *options_.retries
+                                 : harness::sweepRetries();
+    const bool ephemeral =
+        options_.dir.empty() && !fabricDirConfigured();
+    const std::string dir =
+        options_.dir.empty() ? fabricDir() : options_.dir;
+    makeDirs(dir);
+    cleanupStaleFabricFiles(dir);
+
+    std::vector<uint64_t> fps(n);
+    for (size_t i = 0; i < n; ++i)
+        fps[i] = cellFingerprint(cells[i]);
+    const uint64_t sweep = sweepHash(cells);
+    const std::string ckpt = checkpointPath(dir, sweep);
+
+    // Restore the checkpoint: cells with a valid record start Done.
+    std::unordered_map<uint64_t, SpillRecord> records;
+    if (auto existing = readSpillFile(ckpt); existing.ok()) {
+        out.rejected_frames += existing.value().rejected_frames;
+        for (const auto &record : existing.value().records)
+            records.emplace(record.fingerprint, record);
+    }
+    std::vector<CellSeed> seeds(n);
+    for (size_t i = 0; i < n; ++i) {
+        seeds[i].profile_hash = cellTraceHash(cells[i]);
+        seeds[i].fingerprint = fps[i];
+        seeds[i].restored = records.count(fps[i]) > 0;
+        if (seeds[i].restored)
+            ++out.checkpoint_hits;
+    }
+
+    const std::string queue_path =
+        dir + "/queue-" + std::to_string(::getpid()) + ".fvcq";
+    auto created = SharedQueue::create(queue_path, seeds,
+                                       retries + 1, lease,
+                                       out.run_id);
+    if (!created.ok()) {
+        for (size_t i = 0; i < n; ++i) {
+            out.failures.push_back(
+                {i, 0,
+                 cells[i].describe() + ": fabric queue: " +
+                     created.error().describe()});
+        }
+        return out;
+    }
+    SharedQueue queue = std::move(created.value());
+
+    size_t unfinished = n - out.checkpoint_hits;
+    std::vector<WorkerProc> procs;
+    unsigned next_id = 0;
+    size_t spawns = 0;
+    // Generous respawn bound: every cell can burn its whole retry
+    // budget on a fresh worker before we give up on forking.
+    const size_t spawn_cap = workers + (retries + 2) * n;
+
+    auto spawnWorker = [&]() -> bool {
+        unsigned id = next_id++;
+        pid_t child = ::fork();
+        if (child < 0) {
+            fvc_warn("fabric: fork failed: ",
+                     std::strerror(errno));
+            return false;
+        }
+        if (child == 0) {
+            // Worker child: never return into the coordinator's
+            // logic (or gtest's atexit handlers) — _exit directly.
+            ::_exit(detail::runWorkerProcess(queue, cells, id, dir,
+                                             sweep));
+        }
+        WorkerProc proc;
+        proc.pid = child;
+        proc.id = id;
+        proc.part = dir + "/w" + std::to_string(id) + "-" +
+                    std::to_string(child) + ".part";
+        proc.spill = dir + "/w" + std::to_string(id) + "-" +
+                     std::to_string(child) + ".spill";
+        procs.push_back(std::move(proc));
+        ++spawns;
+        return true;
+    };
+
+    const unsigned initial = static_cast<unsigned>(
+        std::min<size_t>(workers, unfinished));
+    for (unsigned i = 0; i < initial; ++i)
+        spawnWorker();
+
+    const uint64_t poll_ms =
+        std::clamp<uint64_t>(lease / 8, 2, 50);
+    auto reap = [&] {
+        for (auto &proc : procs) {
+            if (!proc.alive)
+                continue;
+            int status = 0;
+            if (::waitpid(proc.pid, &status, WNOHANG) == proc.pid)
+                proc.alive = false;
+        }
+    };
+
+    while (initial > 0) {
+        reap();
+
+        // Reclaim expired leases; SIGKILL a live owner first (a
+        // SIGSTOPped or wedged worker won't die any other way).
+        const uint64_t now = monotonicMs();
+        for (size_t i = 0; i < n; ++i) {
+            SlotCtl ctl = queue.load(i);
+            if (ctl.state != CellState::Leased ||
+                queue.deadline(i) > now)
+                continue;
+            for (auto &proc : procs) {
+                if (proc.alive &&
+                    static_cast<uint32_t>(proc.pid) == ctl.pid) {
+                    ::kill(proc.pid, SIGKILL);
+                    ++out.kills;
+                    break;
+                }
+            }
+            if (queue.reclaimExpired(i, now))
+                ++out.reclaims;
+        }
+
+        if (options_.stop_after > 0 &&
+            queue.doneCount() >= options_.stop_after) {
+            // Simulated interruption: die abruptly, like a killed
+            // sweep would, so resume sees exactly crash state.
+            out.interrupted = true;
+            queue.requestShutdown();
+            break;
+        }
+
+        if (queue.complete()) {
+            // Completion barrier: every Done cell must be backed by
+            // a CRC-valid record. A corrupted publish gets demoted
+            // back to Pending (or Failed past the budget).
+            for (const auto &proc : procs)
+                harvestOne(proc, records, out);
+            bool demoted = false;
+            for (size_t i = 0; i < n; ++i) {
+                if (queue.load(i).state != CellState::Done)
+                    continue;
+                if (records.count(fps[i]))
+                    continue;
+                if (queue.demoteUnpublished(i)) {
+                    ++out.demotions;
+                    demoted = true;
+                }
+            }
+            if (!demoted)
+                break;
+        }
+
+        // Respawn while claimable work outlives the worker pool.
+        size_t live = 0;
+        for (const auto &proc : procs)
+            live += proc.alive ? 1 : 0;
+        size_t open =
+            n - queue.doneCount() - queue.failedCount();
+        size_t want = std::min<size_t>(workers, open);
+        if (live < want) {
+            if (spawns < spawn_cap) {
+                if (spawnWorker())
+                    ++out.respawns;
+            } else if (live == 0) {
+                // Fork keeps failing (or a pathological respawn
+                // storm): fail the remaining cells rather than
+                // spin forever.
+                for (size_t i = 0; i < n; ++i) {
+                    SlotCtl ctl = queue.load(i);
+                    if (ctl.state == CellState::Pending ||
+                        ctl.state == CellState::Leased)
+                        queue.reclaimExpired(i, UINT64_MAX);
+                }
+                break;
+            }
+        }
+
+        sleepMs(poll_ms);
+    }
+
+    // Drain: on a normal finish give workers a moment to publish
+    // and exit; on an interrupt (or for wedged stragglers, e.g. a
+    // SIGSTOPped worker whose cell was stolen) SIGKILL.
+    queue.requestShutdown();
+    if (!out.interrupted) {
+        uint64_t grace_end = monotonicMs() + 500;
+        for (;;) {
+            reap();
+            bool any = false;
+            for (const auto &proc : procs)
+                any = any || proc.alive;
+            if (!any || monotonicMs() >= grace_end)
+                break;
+            sleepMs(2);
+        }
+    }
+    for (auto &proc : procs) {
+        if (!proc.alive)
+            continue;
+        ::kill(proc.pid, SIGKILL);
+        ++out.kills;
+        ::waitpid(proc.pid, nullptr, 0);
+        proc.alive = false;
+    }
+
+    // Final harvest (clean exits renamed .part -> .spill).
+    for (const auto &proc : procs)
+        harvestOne(proc, records, out);
+
+    // Assemble the outcome: a valid record is the truth for its
+    // cell; a cell without one either exhausted its budget (FAILED)
+    // or was cut off by the interrupt.
+    for (size_t i = 0; i < n; ++i) {
+        auto it = records.find(fps[i]);
+        if (it != records.end()) {
+            const SpillRecord &record = it->second;
+            out.results[i] = record.stats;
+            out.meta[i].run_id = record.run_id;
+            out.meta[i].worker_pid = record.worker_pid;
+            out.meta[i].attempts = record.attempts;
+            out.meta[i].from_checkpoint =
+                record.run_id != out.run_id;
+            if (record.run_id == out.run_id)
+                ++out.simulated;
+            continue;
+        }
+        if (out.interrupted)
+            continue;
+        SlotCtl ctl = queue.load(i);
+        out.failures.push_back(
+            {i, ctl.attempts,
+             cells[i].describe() + ": retry budget exhausted (" +
+                 std::to_string(ctl.attempts) +
+                 " attempts; worker killed, hung, or its result "
+                 "was rejected)"});
+    }
+
+    // Publish the consolidated checkpoint (submission order) and
+    // retire this run's transient files.
+    std::vector<SpillRecord> ordered;
+    ordered.reserve(records.size());
+    for (size_t i = 0; i < n; ++i) {
+        auto it = records.find(fps[i]);
+        if (it != records.end())
+            ordered.push_back(it->second);
+    }
+    if (!ordered.empty()) {
+        if (auto err = mergeIntoCheckpoint(ckpt, ordered))
+            fvc_warn("fabric: checkpoint publish: ",
+                     err->describe());
+    }
+    for (const auto &proc : procs) {
+        ::unlink(proc.part.c_str());
+        ::unlink(proc.spill.c_str());
+    }
+    queue.unlinkFile();
+
+    if (ephemeral) {
+        // Nothing can resume from a per-pid scratch dir; remove it.
+        ::unlink(ckpt.c_str());
+        if (DIR *d = ::opendir(dir.c_str())) {
+            while (struct dirent *entry = ::readdir(d)) {
+                std::string name = entry->d_name;
+                if (name == "." || name == "..")
+                    continue;
+                ::unlink((dir + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(dir.c_str());
+    }
+    return out;
+}
+
+} // namespace fvc::fabric

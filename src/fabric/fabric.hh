@@ -1,0 +1,199 @@
+/**
+ * @file
+ * The crash-tolerant multi-process sweep fabric.
+ *
+ * FabricRunner is the process backend beside harness::SweepRunner's
+ * thread pool: a coordinator forks FVC_WORKERS worker processes
+ * that share one file-backed lease queue (queue.hh) and the
+ * content-keyed trace store, simulate cells independently, and
+ * stream results into CRC-framed spill files (spill.hh). The
+ * robustness contract (DESIGN.md "Sweep fabric"):
+ *
+ *  - Every cell is leased, never given away: a worker that dies
+ *    (SIGKILL, OOM), hangs (SIGSTOP, wedged loop), or silently
+ *    exits simply stops renewing its lease, and the cell is
+ *    re-queued — stolen by an idle worker or reclaimed by the
+ *    coordinator, which also SIGKILLs the stuck owner. This is the
+ *    reclaim the thread backend's FVC_JOB_TIMEOUT_MS watchdog
+ *    cannot perform (it can only report; see parallel.hh).
+ *  - Results publish at-most-once: a slot's steal-guard sequence
+ *    number invalidates the loser's markDone, and duplicate or
+ *    CRC-rejected records are discarded at merge.
+ *  - Re-queues are bounded by the same FVC_RETRIES budget the
+ *    thread backend uses; an exhausted cell degrades to a FAILED
+ *    report, exactly like harness::runDegraded.
+ *  - Completed records double as a checkpoint keyed by content
+ *    fingerprints: re-running an interrupted sweep in the same
+ *    FVC_FABRIC_DIR re-simulates only unfinished cells, and the
+ *    merged output is byte-identical to a serial run regardless of
+ *    worker count, crash schedule, or resume point.
+ */
+
+#ifndef FVC_FABRIC_FABRIC_HH_
+#define FVC_FABRIC_FABRIC_HH_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fabric/cell.hh"
+#include "fabric/queue.hh"
+#include "fabric/spill.hh"
+#include "harness/parallel.hh"
+
+namespace fvc::fabric {
+
+/**
+ * FVC_WORKERS: process count for fabric sweeps, strict-parsed
+ * (positive integer, no trailing garbage). nullopt when unset or
+ * invalid (invalid warns) — benches fall back to the thread
+ * backend in that case.
+ */
+std::optional<unsigned> configuredWorkers();
+
+/** FVC_LEASE_MS: lease duration in ms (strict-parsed, >= 20;
+ * default 2000). Short leases reclaim crashes faster but tolerate
+ * less scheduling jitter before a false steal. */
+uint64_t leaseMs();
+
+/**
+ * The fabric scratch directory: FVC_FABRIC_DIR when set (stable
+ * names make checkpoint resume possible), otherwise a per-pid
+ * directory under the system temp dir that is removed when the
+ * coordinator finishes. All queue and spill files inside carry the
+ * owning pid in their name, so concurrent fabrics never collide.
+ */
+std::string fabricDir();
+
+/** True iff FVC_FABRIC_DIR was explicitly set (resume possible). */
+bool fabricDirConfigured();
+
+/**
+ * Remove stale fabric files left by dead coordinators/workers in
+ * @p dir: queue files whose coordinator pid is gone are deleted;
+ * spill files whose worker pid is gone are first consolidated into
+ * their sweep's checkpoint (their records are resume state, not
+ * garbage) and then deleted. Files owned by live pids are left
+ * alone. Called automatically by FabricRunner::run().
+ */
+void cleanupStaleFabricFiles(const std::string &dir);
+
+/** One cell that exhausted its retry budget. */
+struct CellFailure
+{
+    size_t index = 0;
+    unsigned attempts = 0;
+    std::string message;
+};
+
+/** Provenance of one merged result. */
+struct CellMeta
+{
+    /** Run that simulated the record (== run_id for fresh work). */
+    uint64_t run_id = 0;
+    uint32_t worker_pid = 0;
+    /** Attempt number that produced the record. */
+    uint32_t attempts = 0;
+    /** Restored from the checkpoint instead of simulated. */
+    bool from_checkpoint = false;
+};
+
+/** Everything one fabric run produced. */
+struct FabricOutcome
+{
+    /** One slot per cell, submission order; nullopt = FAILED (or
+     * not reached before an interrupt). */
+    std::vector<std::optional<CellStats>> results;
+    std::vector<CellFailure> failures;
+    /** Parallel to results; meaningful where results is engaged. */
+    std::vector<CellMeta> meta;
+    /** This coordinator run's id. */
+    uint64_t run_id = 0;
+    /** A stop_after interrupt ended the run early. */
+    bool interrupted = false;
+
+    /** Cells restored from the checkpoint (not re-simulated). */
+    uint64_t checkpoint_hits = 0;
+    /** Records produced by this run's workers. */
+    uint64_t simulated = 0;
+    /** Expired leases re-queued by the coordinator. */
+    uint64_t reclaims = 0;
+    /** Stuck worker processes SIGKILLed by the coordinator. */
+    uint64_t kills = 0;
+    /** Replacement workers forked after a death. */
+    uint64_t respawns = 0;
+    /** Spill frames rejected (bad CRC / torn tail / bad length). */
+    uint64_t rejected_frames = 0;
+    /** Done cells demoted because no valid record backed them. */
+    uint64_t demotions = 0;
+
+    bool ok() const { return failures.empty() && !interrupted; }
+};
+
+/** Convert fabric failures to the thread backend's failure type so
+ * harness::reportSweepFailures renders them identically (FAILED
+ * cells, FVC_STRICT fail-fast). */
+std::vector<harness::JobFailure>
+toJobFailures(const FabricOutcome &outcome);
+
+/** Knobs for one fabric run (tests override the env defaults). */
+struct FabricOptions
+{
+    /** Worker process count; 0 = configuredWorkers() or 1. */
+    unsigned workers = 0;
+    /** Lease in ms; 0 = leaseMs(). */
+    uint64_t lease_ms = 0;
+    /** Extra attempts per cell; nullopt = harness::sweepRetries().
+     * (Max attempts = retries + 1, like the thread backend.) */
+    std::optional<unsigned> retries;
+    /** Scratch dir; empty = fabricDir(). */
+    std::string dir;
+    /** Test hook: interrupt the sweep once this many cells are
+     * Done (0 = run to completion). Simulates a killed sweep for
+     * checkpoint-resume tests. */
+    size_t stop_after = 0;
+};
+
+/**
+ * Collects cells and runs them across worker processes. Results
+ * come back in submission order; equal worker counts, crash
+ * schedules, and resume points all merge byte-identical because a
+ * cell's stats are a pure function of its spec.
+ */
+class FabricRunner
+{
+  public:
+    explicit FabricRunner(FabricOptions options = {});
+
+    /** Queue one cell; returns its index in the result vector. */
+    size_t submit(CellSpec cell);
+
+    size_t pending() const { return cells_.size(); }
+
+    /**
+     * Fork the workers, supervise leases, merge results. The
+     * runner is empty afterwards and can be reused.
+     */
+    FabricOutcome run();
+
+  private:
+    FabricOptions options_;
+    std::vector<CellSpec> cells_;
+};
+
+namespace detail {
+
+/** Worker-process entry point (called in the forked child; never
+ * returns to the caller's logic — the child _exits). Exposed for
+ * the fvc_fabric driver's --worker self-test mode. */
+int runWorkerProcess(SharedQueue &queue,
+                     const std::vector<CellSpec> &cells,
+                     unsigned worker_id, const std::string &dir,
+                     uint64_t sweep_hash);
+
+} // namespace detail
+
+} // namespace fvc::fabric
+
+#endif // FVC_FABRIC_FABRIC_HH_

@@ -1,0 +1,410 @@
+#include "fabric/spill.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/bitops.hh"
+#include "util/mmap_file.hh"
+
+namespace fvc::fabric {
+
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x46565350; // "FVSP"
+constexpr uint32_t kKindHeader = 1;
+constexpr uint32_t kKindRecord = 2;
+
+// Frame layout: magic u32 | kind u32 | payload_len u32 |
+// crc32(payload) u32 | payload bytes.
+constexpr size_t kFrameHeadBytes = 16;
+
+void
+put32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.insert(out.end(),
+               {static_cast<uint8_t>(v),
+                static_cast<uint8_t>(v >> 8),
+                static_cast<uint8_t>(v >> 16),
+                static_cast<uint8_t>(v >> 24)});
+}
+
+void
+put64(std::vector<uint8_t> &out, uint64_t v)
+{
+    put32(out, static_cast<uint32_t>(v));
+    put32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+get32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+get64(const uint8_t *p)
+{
+    return static_cast<uint64_t>(get32(p)) |
+           (static_cast<uint64_t>(get32(p + 4)) << 32);
+}
+
+uint64_t
+doubleBits(double value)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(uint64_t bits)
+{
+    double value;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+// Record payload: cell_index u32 | attempts u32 | fingerprint u64 |
+// run_id u64 | worker_pid u32 | reserved u32 | 8 CacheStats u64 |
+// 7 FvcStats u64 | occupancy_sum bits u64 | occupancy_samples u64.
+constexpr size_t kRecordPayloadBytes =
+    4 + 4 + 8 + 8 + 4 + 4 + 17 * 8;
+
+constexpr size_t kHeaderPayloadBytes = 8 + 8 + 4 + 4;
+
+std::vector<uint8_t>
+encodeHeaderPayload(const SpillHeader &header)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kHeaderPayloadBytes);
+    put64(out, header.run_id);
+    put64(out, header.sweep_hash);
+    put32(out, header.worker_pid);
+    put32(out, header.worker_id);
+    return out;
+}
+
+SpillHeader
+decodeHeaderPayload(const uint8_t *p)
+{
+    SpillHeader header;
+    header.run_id = get64(p);
+    header.sweep_hash = get64(p + 8);
+    header.worker_pid = get32(p + 16);
+    header.worker_id = get32(p + 20);
+    return header;
+}
+
+SpillRecord
+decodeRecordPayload(const uint8_t *p)
+{
+    SpillRecord r;
+    r.cell_index = get32(p);
+    r.attempts = get32(p + 4);
+    r.fingerprint = get64(p + 8);
+    r.run_id = get64(p + 16);
+    r.worker_pid = get32(p + 24);
+    const uint8_t *q = p + 32;
+    auto next = [&q] {
+        uint64_t v = get64(q);
+        q += 8;
+        return v;
+    };
+    auto &c = r.stats.cache;
+    c.read_hits = next();
+    c.read_misses = next();
+    c.write_hits = next();
+    c.write_misses = next();
+    c.fills = next();
+    c.writebacks = next();
+    c.fetch_bytes = next();
+    c.writeback_bytes = next();
+    auto &f = r.stats.fvc;
+    f.fvc_read_hits = next();
+    f.fvc_write_hits = next();
+    f.partial_misses = next();
+    f.write_allocations = next();
+    f.insertions = next();
+    f.insertions_skipped = next();
+    f.fvc_writebacks = next();
+    f.occupancy_sum = bitsDouble(next());
+    f.occupancy_samples = next();
+    return r;
+}
+
+std::vector<uint8_t>
+frameBytes(uint32_t kind, const std::vector<uint8_t> &payload,
+           std::optional<uint32_t> corrupt_payload_bit)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kFrameHeadBytes + payload.size());
+    put32(out, kFrameMagic);
+    put32(out, kind);
+    put32(out, static_cast<uint32_t>(payload.size()));
+    put32(out, util::crc32(payload.data(), payload.size()));
+    out.insert(out.end(), payload.begin(), payload.end());
+    if (corrupt_payload_bit) {
+        size_t bit = *corrupt_payload_bit %
+                     (payload.size() * 8);
+        out[kFrameHeadBytes + bit / 8] ^=
+            static_cast<uint8_t>(1u << (bit % 8));
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+CellStats::identical(const CellStats &other) const
+{
+    SpillRecord a, b;
+    a.stats = *this;
+    b.stats = other;
+    // Compare through the canonical serialization so the comparison
+    // and the on-disk format can never drift apart.
+    std::vector<uint8_t> ea = encodeRecordPayload(a);
+    std::vector<uint8_t> eb = encodeRecordPayload(b);
+    return std::equal(ea.begin() + 32, ea.end(), eb.begin() + 32);
+}
+
+std::vector<uint8_t>
+encodeRecordPayload(const SpillRecord &record)
+{
+    std::vector<uint8_t> out;
+    out.reserve(kRecordPayloadBytes);
+    put32(out, record.cell_index);
+    put32(out, record.attempts);
+    put64(out, record.fingerprint);
+    put64(out, record.run_id);
+    put32(out, record.worker_pid);
+    put32(out, 0); // reserved
+    const auto &c = record.stats.cache;
+    put64(out, c.read_hits);
+    put64(out, c.read_misses);
+    put64(out, c.write_hits);
+    put64(out, c.write_misses);
+    put64(out, c.fills);
+    put64(out, c.writebacks);
+    put64(out, c.fetch_bytes);
+    put64(out, c.writeback_bytes);
+    const auto &f = record.stats.fvc;
+    put64(out, f.fvc_read_hits);
+    put64(out, f.fvc_write_hits);
+    put64(out, f.partial_misses);
+    put64(out, f.write_allocations);
+    put64(out, f.insertions);
+    put64(out, f.insertions_skipped);
+    put64(out, f.fvc_writebacks);
+    put64(out, doubleBits(f.occupancy_sum));
+    put64(out, f.occupancy_samples);
+    fvc_assert(out.size() == kRecordPayloadBytes,
+               "spill record payload size drifted");
+    return out;
+}
+
+util::Expected<SpillWriter>
+SpillWriter::open(const std::string &path,
+                  const SpillHeader &header)
+{
+    int fd = ::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (fd < 0) {
+        return util::Error{util::ErrorCode::Io,
+                           std::string("open failed: ") +
+                               std::strerror(errno),
+                           path};
+    }
+    SpillWriter writer;
+    writer.fd_ = fd;
+    writer.path_ = path;
+    std::vector<uint8_t> frame =
+        frameBytes(kKindHeader, encodeHeaderPayload(header),
+                   std::nullopt);
+    if (::write(fd, frame.data(), frame.size()) !=
+        static_cast<ssize_t>(frame.size())) {
+        return util::Error{util::ErrorCode::Io,
+                           std::string("header write failed: ") +
+                               std::strerror(errno),
+                           path};
+    }
+    return writer;
+}
+
+SpillWriter::~SpillWriter()
+{
+    close();
+}
+
+SpillWriter::SpillWriter(SpillWriter &&other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_))
+{
+    other.fd_ = -1;
+}
+
+SpillWriter &
+SpillWriter::operator=(SpillWriter &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        path_ = std::move(other.path_);
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+std::optional<util::Error>
+SpillWriter::append(const SpillRecord &record,
+                    std::optional<uint32_t> corrupt_payload_bit)
+{
+    fvc_assert(valid(), "append on closed SpillWriter");
+    std::vector<uint8_t> frame =
+        frameBytes(kKindRecord, encodeRecordPayload(record),
+                   corrupt_payload_bit);
+    if (::write(fd_, frame.data(), frame.size()) !=
+        static_cast<ssize_t>(frame.size())) {
+        return util::Error{util::ErrorCode::Io,
+                           std::string("record write failed: ") +
+                               std::strerror(errno),
+                           path_};
+    }
+    // One fsync per record: a cell marked Done in the queue must
+    // imply a durable record, or a crash after markDone could lose
+    // a result the checkpoint claims to have.
+    if (::fsync(fd_) != 0) {
+        return util::Error{util::ErrorCode::Io,
+                           std::string("fsync failed: ") +
+                               std::strerror(errno),
+                           path_};
+    }
+    return std::nullopt;
+}
+
+void
+SpillWriter::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+util::Expected<SpillContents>
+readSpillFile(const std::string &path)
+{
+    auto mapped = util::MappedFile::open(path);
+    if (!mapped.ok())
+        return mapped.error();
+    const uint8_t *data = mapped.value().data();
+    const size_t size = mapped.value().size();
+
+    SpillContents contents;
+    size_t pos = 0;
+    while (pos < size) {
+        if (size - pos < kFrameHeadBytes) {
+            contents.truncated_tail = true;
+            break;
+        }
+        const uint8_t *head = data + pos;
+        uint32_t magic = get32(head);
+        uint32_t kind = get32(head + 4);
+        uint32_t len = get32(head + 8);
+        uint32_t crc = get32(head + 12);
+        if (magic != kFrameMagic || len > (1u << 20)) {
+            // Unframed garbage: no way to find the next frame
+            // boundary, so everything from here on is lost.
+            ++contents.rejected_frames;
+            break;
+        }
+        if (size - pos - kFrameHeadBytes < len) {
+            // Valid head whose payload runs past EOF: the classic
+            // crash-mid-append torn tail, not corruption.
+            contents.truncated_tail = true;
+            break;
+        }
+        const uint8_t *payload = head + kFrameHeadBytes;
+        pos += kFrameHeadBytes + len;
+        if (util::crc32(payload, len) != crc) {
+            ++contents.rejected_frames;
+            continue; // frame boundary intact; skip just this one
+        }
+        if (kind == kKindHeader && len == kHeaderPayloadBytes) {
+            contents.header = decodeHeaderPayload(payload);
+        } else if (kind == kKindRecord &&
+                   len == kRecordPayloadBytes) {
+            contents.records.push_back(
+                decodeRecordPayload(payload));
+        } else {
+            ++contents.rejected_frames;
+        }
+    }
+    return contents;
+}
+
+std::optional<util::Error>
+mergeIntoCheckpoint(const std::string &path,
+                    const std::vector<SpillRecord> &records)
+{
+    // Existing checkpoint records first: first-wins per fingerprint
+    // keeps the earliest run's record stable across consolidations.
+    std::vector<SpillRecord> merged;
+    std::unordered_map<uint64_t, size_t> seen;
+    auto add = [&](const SpillRecord &record) {
+        if (seen.emplace(record.fingerprint, merged.size()).second)
+            merged.push_back(record);
+    };
+    auto existing = readSpillFile(path);
+    if (existing.ok()) {
+        for (const auto &record : existing.value().records)
+            add(record);
+    }
+    for (const auto &record : records)
+        add(record);
+
+    const std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return util::Error{util::ErrorCode::Io,
+                           std::string("open failed: ") +
+                               std::strerror(errno),
+                           tmp};
+    }
+    std::vector<uint8_t> bytes;
+    for (const auto &record : merged) {
+        std::vector<uint8_t> frame = frameBytes(
+            kKindRecord, encodeRecordPayload(record), std::nullopt);
+        bytes.insert(bytes.end(), frame.begin(), frame.end());
+    }
+    bool ok = bytes.empty() ||
+              ::write(fd, bytes.data(), bytes.size()) ==
+                  static_cast<ssize_t>(bytes.size());
+    ok = ok && ::fsync(fd) == 0;
+    ::close(fd);
+    if (!ok) {
+        ::unlink(tmp.c_str());
+        return util::Error{util::ErrorCode::Io,
+                           std::string("checkpoint write failed: ") +
+                               std::strerror(errno),
+                           tmp};
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        int err = errno;
+        ::unlink(tmp.c_str());
+        return util::Error{util::ErrorCode::Io,
+                           std::string("rename failed: ") +
+                               std::strerror(err),
+                           path};
+    }
+    return std::nullopt;
+}
+
+} // namespace fvc::fabric

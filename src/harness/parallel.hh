@@ -55,8 +55,19 @@ unsigned jobCount();
  * (default 2). Fatal (non-transient) failures never retry. */
 unsigned sweepRetries();
 
-/** FVC_JOB_TIMEOUT_MS: per-job wall-clock budget in milliseconds;
- * 0 (the default) disables the watchdog. */
+/**
+ * FVC_JOB_TIMEOUT_MS: per-job wall-clock budget in milliseconds;
+ * 0 (the default) disables the watchdog.
+ *
+ * Honesty note (DESIGN.md "Sweep fabric"): on this *thread*
+ * backend the budget is report-only. A thread cannot be safely
+ * killed, so an expired job keeps running (and keeps its core, and
+ * still performs its side effects); only its result is discarded
+ * and reported as timed out. The *process* backend
+ * (fabric::FabricRunner) honours the same variable for real: a
+ * worker over budget stops renewing its lease, gets SIGKILLed by
+ * the coordinator, and its cell is re-queued on a fresh worker.
+ */
 uint64_t jobTimeoutMs();
 
 /**
@@ -167,7 +178,10 @@ class SweepError : public std::runtime_error
  * sweep is visible while it hangs); finish() tells the caller
  * whether the job's result should be discarded as timed out.
  * Cooperative only: a job cannot be preempted, so an expired job's
- * result is dropped when (if) it completes.
+ * result is dropped when (if) it completes — the job itself keeps
+ * running and its side effects still happen. Reclaiming a wedged
+ * job for real requires the process backend (src/fabric/), which
+ * can SIGKILL a worker whose lease lapsed.
  */
 class JobWatchdog
 {

@@ -90,14 +90,31 @@ FaultSpec::parse(const std::string &text)
             if (!kinds.ok())
                 return kinds.error();
             spec.kinds = kinds.value();
-        } else if (key == "sweep_job") {
+        } else if (key == "sweep_job" || key == "kill_cell" ||
+                   key == "hang_cell" || key == "corrupt_spill") {
             auto v = util::parseUint(value);
             if (!v) {
                 return util::Error{util::ErrorCode::Format,
-                                   "bad sweep_job \"" + value + "\"",
+                                   "bad " + key + " \"" + value +
+                                       "\"",
                                    "FVC_FAULT_SPEC"};
             }
-            spec.sweep_job = *v;
+            if (key == "sweep_job")
+                spec.sweep_job = *v;
+            else if (key == "kill_cell")
+                spec.kill_cell = *v;
+            else if (key == "hang_cell")
+                spec.hang_cell = *v;
+            else
+                spec.corrupt_spill = *v;
+        } else if (key == "sticky") {
+            if (value != "0" && value != "1") {
+                return util::Error{util::ErrorCode::Format,
+                                   "bad sticky \"" + value +
+                                       "\" (want 0 or 1)",
+                                   "FVC_FAULT_SPEC"};
+            }
+            spec.sticky = value == "1";
         } else {
             return util::Error{util::ErrorCode::Format,
                                "unknown key \"" + key + "\"",
@@ -155,6 +172,14 @@ FaultSpec::describe() const
     }
     if (sweep_job)
         out += ",sweep_job=" + std::to_string(*sweep_job);
+    if (kill_cell)
+        out += ",kill_cell=" + std::to_string(*kill_cell);
+    if (hang_cell)
+        out += ",hang_cell=" + std::to_string(*hang_cell);
+    if (corrupt_spill)
+        out += ",corrupt_spill=" + std::to_string(*corrupt_spill);
+    if (sticky)
+        out += ",sticky=1";
     return out;
 }
 

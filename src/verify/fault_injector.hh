@@ -61,11 +61,28 @@ struct FaultSpec
     unsigned kinds = kFaultAllRecord;
     /** Force the N-th sweep job submitted process-wide to throw. */
     std::optional<uint64_t> sweep_job;
+    /** Fabric: SIGKILL the worker right before simulating the cell
+     * with this submission index. */
+    std::optional<uint64_t> kill_cell;
+    /** Fabric: SIGSTOP the worker right before simulating the cell
+     * with this submission index (the lease expires and the
+     * coordinator SIGKILLs the stopped process). */
+    std::optional<uint64_t> hang_cell;
+    /** Fabric: flip one bit of this cell's spill record payload
+     * after its CRC is computed, so the published result is
+     * rejected at merge and the cell re-queued. */
+    std::optional<uint64_t> corrupt_spill;
+    /** Fabric faults fire on every attempt instead of once per
+     * fabric directory — retry-budget-exhaustion tests need the
+     * fault to survive the re-queue. */
+    bool sticky = false;
 
     /**
      * Parse "seed=42,rate=0.001,kinds=value|op|drop,sweep_job=5".
-     * Kind names: value, addr, op, dup, drop, all. Unknown keys or
-     * malformed values are a Format error, never ignored.
+     * Fabric keys: kill_cell=N, hang_cell=N, corrupt_spill=N,
+     * sticky=0|1 (see src/fabric/). Kind names: value, addr, op,
+     * dup, drop, all. Unknown keys or malformed values are a
+     * Format error, never ignored.
      */
     static util::Expected<FaultSpec> parse(const std::string &text);
 

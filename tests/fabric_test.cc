@@ -1,0 +1,657 @@
+/**
+ * @file
+ * Crash matrix for the multi-process sweep fabric: queue CAS
+ * semantics, spill framing, checkpoint consolidation, and the
+ * end-to-end contract that SIGKILL, SIGSTOP, corrupted spill
+ * frames, and resume-after-interrupt all converge to results
+ * byte-identical to a serial run.
+ *
+ * Every fabric test uses its own mkdtemp directory (per-test
+ * queue/spill/checkpoint state) and small traces; fault injection
+ * goes through FVC_FAULT_SPEC exactly as a user would drive it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "fabric/cell.hh"
+#include "fabric/fabric.hh"
+#include "fabric/queue.hh"
+#include "fabric/spill.hh"
+#include "verify/fault_injector.hh"
+
+namespace fb = fvc::fabric;
+namespace fw = fvc::workload;
+namespace fv = fvc::verify;
+
+namespace {
+
+// Small traces keep the whole matrix fast; determinism does not
+// depend on trace length.
+constexpr uint64_t kAccesses = 20000;
+
+/** Per-test scratch directory, removed (files + dir) afterwards. */
+class TempDir
+{
+  public:
+    TempDir()
+    {
+        char tmpl[] = "/tmp/fvc-fabric-test-XXXXXX";
+        const char *made = ::mkdtemp(tmpl);
+        EXPECT_NE(made, nullptr);
+        path_ = made ? made : "";
+    }
+
+    ~TempDir()
+    {
+        if (path_.empty())
+            return;
+        if (DIR *d = ::opendir(path_.c_str())) {
+            while (struct dirent *entry = ::readdir(d)) {
+                std::string name = entry->d_name;
+                if (name != "." && name != "..")
+                    ::unlink((path_ + "/" + name).c_str());
+            }
+            ::closedir(d);
+        }
+        ::rmdir(path_.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+/** Scoped FVC_FAULT_SPEC (workers read it at startup). */
+class ScopedFaultSpec
+{
+  public:
+    explicit ScopedFaultSpec(const std::string &spec)
+    {
+        setenv("FVC_FAULT_SPEC", spec.c_str(), 1);
+    }
+    ~ScopedFaultSpec() { unsetenv("FVC_FAULT_SPEC"); }
+};
+
+/** The standard matrix: 4 SPECint95 profiles x {DMC, DMC+FVC}. */
+std::vector<fb::CellSpec>
+matrixCells()
+{
+    const fw::SpecInt benches[] = {
+        fw::SpecInt::Go099, fw::SpecInt::M88ksim124,
+        fw::SpecInt::Compress129, fw::SpecInt::Perl134};
+    std::vector<fb::CellSpec> cells;
+    for (auto bench : benches) {
+        fb::CellSpec cell;
+        cell.bench = bench;
+        cell.accesses = kAccesses;
+        cell.dmc.size_bytes = 8 * 1024;
+        cells.push_back(cell);
+        cell.fvc.entries = 256;
+        cell.fvc.line_bytes = cell.dmc.line_bytes;
+        cell.fvc.code_bits = 3;
+        cell.has_fvc = true;
+        cells.push_back(cell);
+    }
+    return cells;
+}
+
+/** Serial reference: simulate each cell on the calling thread. */
+std::vector<fb::CellStats>
+serialReference(const std::vector<fb::CellSpec> &cells)
+{
+    std::vector<fb::CellStats> stats;
+    for (const auto &cell : cells)
+        stats.push_back(fb::simulateCell(cell));
+    return stats;
+}
+
+fb::FabricOutcome
+runFabric(const std::vector<fb::CellSpec> &cells,
+          fb::FabricOptions options)
+{
+    fb::FabricRunner runner(std::move(options));
+    for (const auto &cell : cells)
+        runner.submit(cell);
+    return runner.run();
+}
+
+void
+expectMatchesSerial(const fb::FabricOutcome &outcome,
+                    const std::vector<fb::CellStats> &serial)
+{
+    ASSERT_EQ(outcome.results.size(), serial.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_TRUE(outcome.results[i].has_value())
+            << "cell " << i << " missing";
+        EXPECT_TRUE(outcome.results[i]->identical(serial[i]))
+            << "cell " << i << " diverged from serial";
+    }
+}
+
+fb::SpillRecord
+sampleRecord(uint32_t index, uint64_t fingerprint)
+{
+    fb::SpillRecord record;
+    record.cell_index = index;
+    record.attempts = 1;
+    record.fingerprint = fingerprint;
+    record.run_id = 7;
+    record.worker_pid = 42;
+    record.stats.cache.read_hits = 100 + index;
+    record.stats.cache.read_misses = index;
+    record.stats.fvc.occupancy_sum = 1.5 * index;
+    record.stats.fvc.occupancy_samples = index;
+    return record;
+}
+
+} // namespace
+
+// --- queue unit tests -------------------------------------------
+
+TEST(SharedQueueTest, ClaimDoneLifecycle)
+{
+    TempDir dir;
+    std::vector<fb::CellSeed> seeds(3);
+    for (size_t i = 0; i < seeds.size(); ++i)
+        seeds[i] = {i, 100 + i, false};
+    auto created = fb::SharedQueue::create(
+        dir.path() + "/queue-1.fvcq", seeds, 3, 60000, 99);
+    ASSERT_TRUE(created.ok()) << created.error().describe();
+    fb::SharedQueue queue = std::move(created.value());
+
+    EXPECT_EQ(queue.cellCount(), 3u);
+    EXPECT_EQ(queue.runId(), 99u);
+    EXPECT_EQ(queue.fingerprint(1), 101u);
+    EXPECT_FALSE(queue.complete());
+
+    EXPECT_TRUE(queue.tryClaim(0, 10));
+    EXPECT_FALSE(queue.tryClaim(0, 11)); // already leased
+    fb::SlotCtl ctl = queue.load(0);
+    EXPECT_EQ(ctl.state, fb::CellState::Leased);
+    EXPECT_EQ(ctl.pid, 10u);
+    EXPECT_EQ(ctl.attempts, 1u);
+    EXPECT_GT(queue.deadline(0), fb::monotonicMs());
+
+    EXPECT_FALSE(queue.markDone(0, 11)); // not the owner
+    EXPECT_TRUE(queue.markDone(0, 10));
+    EXPECT_EQ(queue.load(0).state, fb::CellState::Done);
+    EXPECT_EQ(queue.doneCount(), 1u);
+}
+
+TEST(SharedQueueTest, StealGuardsAgainstStaleOwner)
+{
+    TempDir dir;
+    std::vector<fb::CellSeed> seeds(1);
+    auto created = fb::SharedQueue::create(
+        dir.path() + "/queue-1.fvcq", seeds, 5, 50, 1);
+    ASSERT_TRUE(created.ok());
+    fb::SharedQueue queue = std::move(created.value());
+
+    ASSERT_TRUE(queue.tryClaim(0, 10));
+    // Live lease: not stealable.
+    EXPECT_FALSE(queue.trySteal(0, 11, fb::monotonicMs()));
+    // Expired lease: stealable, attempts advance.
+    const uint64_t later = queue.deadline(0) + 1;
+    EXPECT_TRUE(queue.trySteal(0, 11, later));
+    EXPECT_EQ(queue.load(0).pid, 11u);
+    EXPECT_EQ(queue.load(0).attempts, 2u);
+    // The original owner wakes up and tries to publish: the seq
+    // bump makes its markDone fail (at-most-once publish).
+    EXPECT_FALSE(queue.markDone(0, 10));
+    EXPECT_TRUE(queue.markDone(0, 11));
+}
+
+TEST(SharedQueueTest, RetryBudgetDegradesToFailed)
+{
+    TempDir dir;
+    std::vector<fb::CellSeed> seeds(1);
+    auto created = fb::SharedQueue::create(
+        dir.path() + "/queue-1.fvcq", seeds, 2, 50, 1);
+    ASSERT_TRUE(created.ok());
+    fb::SharedQueue queue = std::move(created.value());
+
+    ASSERT_TRUE(queue.tryClaim(0, 10));
+    auto state = queue.releaseFailed(0, 10);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, fb::CellState::Pending); // attempt 1 of 2
+    ASSERT_TRUE(queue.tryClaim(0, 10));
+    state = queue.releaseFailed(0, 10);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, fb::CellState::Failed); // budget exhausted
+    EXPECT_EQ(queue.failedCount(), 1u);
+    EXPECT_TRUE(queue.complete());
+    // Budget-exhausted leases are not stealable either.
+    EXPECT_FALSE(queue.tryClaim(0, 11));
+}
+
+TEST(SharedQueueTest, DemoteUnpublishedRequeuesDoneCell)
+{
+    TempDir dir;
+    std::vector<fb::CellSeed> seeds(1);
+    auto created = fb::SharedQueue::create(
+        dir.path() + "/queue-1.fvcq", seeds, 3, 50, 1);
+    ASSERT_TRUE(created.ok());
+    fb::SharedQueue queue = std::move(created.value());
+
+    ASSERT_TRUE(queue.tryClaim(0, 10));
+    ASSERT_TRUE(queue.markDone(0, 10));
+    auto state = queue.demoteUnpublished(0);
+    ASSERT_TRUE(state.has_value());
+    EXPECT_EQ(*state, fb::CellState::Pending);
+    EXPECT_EQ(queue.load(0).attempts, 1u);
+    // Restored-from-checkpoint cells start Done.
+    std::vector<fb::CellSeed> restored(1);
+    restored[0].restored = true;
+    auto created2 = fb::SharedQueue::create(
+        dir.path() + "/queue-2.fvcq", restored, 3, 50, 1);
+    ASSERT_TRUE(created2.ok());
+    EXPECT_TRUE(created2.value().complete());
+}
+
+// --- spill unit tests -------------------------------------------
+
+TEST(SpillTest, RoundTripsRecordsWithHeader)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/w0-1.part";
+    fb::SpillHeader header{11, 22, 33, 0};
+    auto writer = fb::SpillWriter::open(path, header);
+    ASSERT_TRUE(writer.ok()) << writer.error().describe();
+    for (uint32_t i = 0; i < 3; ++i)
+        ASSERT_FALSE(writer.value().append(sampleRecord(i, 500 + i))
+                         .has_value());
+    writer.value().close();
+
+    auto contents = fb::readSpillFile(path);
+    ASSERT_TRUE(contents.ok());
+    ASSERT_TRUE(contents.value().header.has_value());
+    EXPECT_EQ(contents.value().header->run_id, 11u);
+    EXPECT_EQ(contents.value().header->sweep_hash, 22u);
+    ASSERT_EQ(contents.value().records.size(), 3u);
+    EXPECT_EQ(contents.value().rejected_frames, 0u);
+    EXPECT_FALSE(contents.value().truncated_tail);
+    const auto &rec = contents.value().records[2];
+    EXPECT_EQ(rec.cell_index, 2u);
+    EXPECT_EQ(rec.fingerprint, 502u);
+    EXPECT_TRUE(rec.stats.identical(sampleRecord(2, 502).stats));
+}
+
+TEST(SpillTest, ToleratesTornTailAfterCrash)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/w0-1.part";
+    auto writer = fb::SpillWriter::open(path, {1, 2, 3, 0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_FALSE(writer.value().append(sampleRecord(0, 500)));
+    ASSERT_FALSE(writer.value().append(sampleRecord(1, 501)));
+    writer.value().close();
+
+    // SIGKILL mid-write: chop the last record in half.
+    struct stat st;
+    ASSERT_EQ(::stat(path.c_str(), &st), 0);
+    ASSERT_EQ(::truncate(path.c_str(), st.st_size - 90), 0);
+
+    auto contents = fb::readSpillFile(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_TRUE(contents.value().truncated_tail);
+    ASSERT_EQ(contents.value().records.size(), 1u);
+    EXPECT_EQ(contents.value().records[0].fingerprint, 500u);
+}
+
+TEST(SpillTest, RejectsCorruptFrameButKeepsNeighbours)
+{
+    TempDir dir;
+    const std::string path = dir.path() + "/w0-1.part";
+    auto writer = fb::SpillWriter::open(path, {1, 2, 3, 0});
+    ASSERT_TRUE(writer.ok());
+    ASSERT_FALSE(writer.value().append(sampleRecord(0, 500)));
+    // The deterministic fault-injection point: payload bit flipped
+    // after the CRC was computed.
+    ASSERT_FALSE(writer.value().append(sampleRecord(1, 501), 300));
+    ASSERT_FALSE(writer.value().append(sampleRecord(2, 502)));
+    writer.value().close();
+
+    auto contents = fb::readSpillFile(path);
+    ASSERT_TRUE(contents.ok());
+    EXPECT_EQ(contents.value().rejected_frames, 1u);
+    ASSERT_EQ(contents.value().records.size(), 2u);
+    EXPECT_EQ(contents.value().records[0].fingerprint, 500u);
+    EXPECT_EQ(contents.value().records[1].fingerprint, 502u);
+}
+
+TEST(SpillTest, CheckpointMergeIsFirstWinsAndAtomic)
+{
+    TempDir dir;
+    const std::string ckpt = dir.path() + "/checkpoint-x.fvcr";
+    ASSERT_FALSE(fb::mergeIntoCheckpoint(
+        ckpt, {sampleRecord(0, 500), sampleRecord(1, 501)}));
+    // Second merge: a duplicate fingerprint must not displace the
+    // original record; new fingerprints append.
+    fb::SpillRecord dup = sampleRecord(0, 500);
+    dup.run_id = 1234;
+    ASSERT_FALSE(fb::mergeIntoCheckpoint(
+        ckpt, {dup, sampleRecord(2, 502)}));
+
+    auto contents = fb::readSpillFile(ckpt);
+    ASSERT_TRUE(contents.ok());
+    ASSERT_EQ(contents.value().records.size(), 3u);
+    EXPECT_EQ(contents.value().records[0].run_id, 7u); // original
+    // No temp file left behind by the rename publish.
+    std::string tmp =
+        ckpt + ".tmp." + std::to_string(::getpid());
+    struct stat st;
+    EXPECT_NE(::stat(tmp.c_str(), &st), 0);
+}
+
+// --- fault-spec parsing -----------------------------------------
+
+TEST(FabricFaultSpecTest, ParsesFabricKeys)
+{
+    auto spec = fv::FaultSpec::parse(
+        "kill_cell=3,hang_cell=5,corrupt_spill=7,sticky=1");
+    ASSERT_TRUE(spec.ok()) << spec.error().describe();
+    EXPECT_EQ(spec.value().kill_cell, 3u);
+    EXPECT_EQ(spec.value().hang_cell, 5u);
+    EXPECT_EQ(spec.value().corrupt_spill, 7u);
+    EXPECT_TRUE(spec.value().sticky);
+    // describe() round-trips through parse().
+    auto again = fv::FaultSpec::parse(spec.value().describe());
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value().kill_cell, 3u);
+    EXPECT_TRUE(again.value().sticky);
+
+    EXPECT_FALSE(fv::FaultSpec::parse("kill_cell=x").ok());
+    EXPECT_FALSE(fv::FaultSpec::parse("sticky=2").ok());
+}
+
+TEST(FabricEnvTest, StrictWorkerAndLeaseParsing)
+{
+    unsetenv("FVC_WORKERS");
+    EXPECT_FALSE(fb::configuredWorkers().has_value());
+    setenv("FVC_WORKERS", "4", 1);
+    EXPECT_EQ(fb::configuredWorkers(), 4u);
+    setenv("FVC_WORKERS", "0", 1);
+    EXPECT_FALSE(fb::configuredWorkers().has_value());
+    setenv("FVC_WORKERS", "2x", 1);
+    EXPECT_FALSE(fb::configuredWorkers().has_value());
+    unsetenv("FVC_WORKERS");
+
+    unsetenv("FVC_LEASE_MS");
+    EXPECT_EQ(fb::leaseMs(), 2000u);
+    setenv("FVC_LEASE_MS", "150", 1);
+    EXPECT_EQ(fb::leaseMs(), 150u);
+    setenv("FVC_LEASE_MS", "5", 1); // below the floor
+    EXPECT_EQ(fb::leaseMs(), 2000u);
+    setenv("FVC_LEASE_MS", "soon", 1);
+    EXPECT_EQ(fb::leaseMs(), 2000u);
+    unsetenv("FVC_LEASE_MS");
+
+    unsetenv("FVC_FABRIC_DIR");
+    EXPECT_FALSE(fb::fabricDirConfigured());
+    setenv("FVC_FABRIC_DIR", "/tmp/somewhere", 1);
+    EXPECT_TRUE(fb::fabricDirConfigured());
+    EXPECT_EQ(fb::fabricDir(), "/tmp/somewhere");
+    unsetenv("FVC_FABRIC_DIR");
+}
+
+// --- stale-file cleanup -----------------------------------------
+
+TEST(FabricCleanupTest, HarvestsDeadPidSpillsAndDropsDeadQueues)
+{
+    TempDir dir;
+    // A pid that cannot exist (beyond pid_max on any default
+    // config): everything it "owns" is stale.
+    const std::string dead = "399999999";
+    const std::string live = std::to_string(::getpid());
+
+    // Stale queue file + stale checkpoint temp file.
+    ASSERT_NE(::creat((dir.path() + "/queue-" + dead + ".fvcq")
+                          .c_str(),
+                      0644),
+              -1);
+    ASSERT_NE(::creat((dir.path() +
+                       "/checkpoint-aa.fvcr.tmp." + dead)
+                          .c_str(),
+                      0644),
+              -1);
+    // Stale spill with real records for sweep hash 0x22: its
+    // records must survive into the checkpoint.
+    {
+        auto writer = fb::SpillWriter::open(
+            dir.path() + "/w0-" + dead + ".part",
+            {9, 0x22, 399999999, 0});
+        ASSERT_TRUE(writer.ok());
+        ASSERT_FALSE(writer.value().append(sampleRecord(0, 500)));
+    }
+    // A live-pid spill stays untouched.
+    {
+        auto writer = fb::SpillWriter::open(
+            dir.path() + "/w1-" + live + ".part",
+            {9, 0x22, 1, 1});
+        ASSERT_TRUE(writer.ok());
+    }
+
+    fb::cleanupStaleFabricFiles(dir.path());
+
+    struct stat st;
+    EXPECT_NE(::stat((dir.path() + "/queue-" + dead + ".fvcq")
+                         .c_str(),
+                     &st),
+              0);
+    EXPECT_NE(::stat((dir.path() +
+                      "/checkpoint-aa.fvcr.tmp." + dead)
+                         .c_str(),
+                     &st),
+              0);
+    EXPECT_NE(
+        ::stat((dir.path() + "/w0-" + dead + ".part").c_str(),
+               &st),
+        0);
+    EXPECT_EQ(
+        ::stat((dir.path() + "/w1-" + live + ".part").c_str(),
+               &st),
+        0);
+    // The dead worker's record was consolidated, not lost.
+    auto ckpt = fb::readSpillFile(
+        dir.path() + "/checkpoint-0000000000000022.fvcr");
+    ASSERT_TRUE(ckpt.ok());
+    ASSERT_EQ(ckpt.value().records.size(), 1u);
+    EXPECT_EQ(ckpt.value().records[0].fingerprint, 500u);
+}
+
+// --- end-to-end crash matrix ------------------------------------
+
+TEST(FabricTest, MatchesSerialAcrossWorkerCounts)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    for (unsigned workers : {1u, 2u, 4u}) {
+        TempDir dir;
+        fb::FabricOptions options;
+        options.workers = workers;
+        options.dir = dir.path();
+        auto outcome = runFabric(cells, options);
+        EXPECT_TRUE(outcome.ok());
+        EXPECT_TRUE(outcome.failures.empty());
+        EXPECT_EQ(outcome.simulated, cells.size());
+        EXPECT_EQ(outcome.checkpoint_hits, 0u);
+        expectMatchesSerial(outcome, serial);
+        for (size_t i = 0; i < cells.size(); ++i) {
+            EXPECT_FALSE(outcome.meta[i].from_checkpoint);
+            EXPECT_EQ(outcome.meta[i].run_id, outcome.run_id);
+        }
+    }
+}
+
+TEST(FabricTest, SigkillMidCellIsStolenOrReclaimed)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    ScopedFaultSpec fault("kill_cell=2");
+    fb::FabricOptions options;
+    options.workers = 2;
+    options.lease_ms = 100;
+    options.dir = dir.path();
+    auto outcome = runFabric(cells, options);
+    EXPECT_TRUE(outcome.ok());
+    expectMatchesSerial(outcome, serial);
+    // The record that survived is from the *second* attempt: the
+    // first claimer died holding the lease.
+    EXPECT_GE(outcome.meta[2].attempts, 2u);
+}
+
+TEST(FabricTest, SigstopHangIsKilledAndReclaimed)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    ScopedFaultSpec fault("hang_cell=1");
+    fb::FabricOptions options;
+    options.workers = 1; // nobody to steal: the coordinator must
+                         // SIGKILL the stopped worker and respawn
+    options.lease_ms = 100;
+    options.dir = dir.path();
+    auto outcome = runFabric(cells, options);
+    EXPECT_TRUE(outcome.ok());
+    expectMatchesSerial(outcome, serial);
+    EXPECT_GE(outcome.kills, 1u);
+    EXPECT_GE(outcome.reclaims, 1u);
+    EXPECT_GE(outcome.respawns, 1u);
+    EXPECT_GE(outcome.meta[1].attempts, 2u);
+}
+
+TEST(FabricTest, SigstopHangIsStolenByPeerWorker)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    ScopedFaultSpec fault("hang_cell=0");
+    fb::FabricOptions options;
+    options.workers = 3; // a peer steals the expired lease
+    options.lease_ms = 100;
+    options.dir = dir.path();
+    auto outcome = runFabric(cells, options);
+    EXPECT_TRUE(outcome.ok());
+    expectMatchesSerial(outcome, serial);
+    // The stopped worker never exits on its own; the coordinator
+    // must have SIGKILLed it at drain (or at lease expiry).
+    EXPECT_GE(outcome.kills, 1u);
+    EXPECT_GE(outcome.meta[0].attempts, 2u);
+}
+
+TEST(FabricTest, CorruptSpillFrameIsRejectedAndRequeued)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    ScopedFaultSpec fault("corrupt_spill=3");
+    fb::FabricOptions options;
+    options.workers = 2;
+    options.lease_ms = 100;
+    options.dir = dir.path();
+    auto outcome = runFabric(cells, options);
+    EXPECT_TRUE(outcome.ok());
+    expectMatchesSerial(outcome, serial);
+    // The corrupted frame was seen and refused, the Done cell was
+    // demoted, and a clean re-run published the real record.
+    EXPECT_GE(outcome.rejected_frames, 1u);
+    EXPECT_GE(outcome.demotions, 1u);
+    EXPECT_GE(outcome.meta[3].attempts, 2u);
+}
+
+TEST(FabricTest, StickyKillExhaustsRetryBudget)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    ScopedFaultSpec fault("kill_cell=0,sticky=1");
+    fb::FabricOptions options;
+    options.workers = 1;
+    options.lease_ms = 100;
+    options.retries = 1; // 2 attempts total
+    options.dir = dir.path();
+    auto outcome = runFabric(cells, options);
+    EXPECT_FALSE(outcome.ok());
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_EQ(outcome.failures[0].index, 0u);
+    EXPECT_EQ(outcome.failures[0].attempts, 2u);
+    EXPECT_NE(outcome.failures[0].message.find(
+                  "retry budget exhausted"),
+              std::string::npos);
+    EXPECT_FALSE(outcome.results[0].has_value());
+    // Degradation, not collapse: every other cell still finished
+    // and matches serial.
+    for (size_t i = 1; i < cells.size(); ++i) {
+        ASSERT_TRUE(outcome.results[i].has_value());
+        EXPECT_TRUE(outcome.results[i]->identical(serial[i]));
+    }
+    // And the failures convert into the thread backend's type for
+    // identical FAILED-cell rendering.
+    auto jf = fb::toJobFailures(outcome);
+    ASSERT_EQ(jf.size(), 1u);
+    EXPECT_EQ(jf[0].index, 0u);
+    EXPECT_EQ(jf[0].attempts, 2u);
+}
+
+TEST(FabricTest, ResumeSimulatesOnlyUnfinishedCells)
+{
+    auto cells = matrixCells();
+    auto serial = serialReference(cells);
+    TempDir dir;
+    fb::FabricOptions options;
+    options.workers = 2;
+    options.lease_ms = 100;
+    options.dir = dir.path();
+
+    // Run 1: interrupted once 3 cells are done (the coordinator
+    // SIGKILLs its workers, exactly like a killed sweep).
+    fb::FabricOptions first = options;
+    first.stop_after = 3;
+    auto run1 = runFabric(cells, first);
+    EXPECT_TRUE(run1.interrupted);
+    size_t finished = 0;
+    for (const auto &result : run1.results)
+        finished += result.has_value() ? 1 : 0;
+    EXPECT_GE(finished, 3u);
+
+    // Run 2, same dir: restores from the checkpoint and simulates
+    // only what run 1 did not finish — proven per cell by the
+    // run_id generation counter stamped into each record.
+    auto run2 = runFabric(cells, options);
+    EXPECT_TRUE(run2.ok());
+    expectMatchesSerial(run2, serial);
+    EXPECT_GE(run2.checkpoint_hits, 3u);
+    EXPECT_EQ(run2.simulated,
+              cells.size() - run2.checkpoint_hits);
+    size_t restored = 0;
+    for (size_t i = 0; i < cells.size(); ++i) {
+        if (run2.meta[i].from_checkpoint) {
+            EXPECT_EQ(run2.meta[i].run_id, run1.run_id)
+                << "restored record must carry the run that "
+                   "simulated it";
+            ++restored;
+        } else {
+            EXPECT_EQ(run2.meta[i].run_id, run2.run_id);
+        }
+    }
+    EXPECT_EQ(restored, run2.checkpoint_hits);
+
+    // Run 3: everything restores; nothing is simulated.
+    auto run3 = runFabric(cells, options);
+    EXPECT_TRUE(run3.ok());
+    expectMatchesSerial(run3, serial);
+    EXPECT_EQ(run3.checkpoint_hits, cells.size());
+    EXPECT_EQ(run3.simulated, 0u);
+}

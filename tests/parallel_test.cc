@@ -264,6 +264,35 @@ TEST(SweepRunnerTest, WatchdogDiscardsTimedOutResults)
     EXPECT_EQ(*outcome.results[1], 2);
 }
 
+TEST(SweepRunnerTest, WatchdogReportsButCannotReclaim)
+{
+    // The documented honesty contract of the thread backend: an
+    // expired job is *reported* as timed out and its result is
+    // discarded, but the thread cannot be killed — the job runs to
+    // completion and its side effects still happen. (The process
+    // backend in src/fabric/ is the one that actually kills and
+    // re-queues; see fabric_test.cc.)
+    setenv("FVC_JOB_TIMEOUT_MS", "50", 1);
+    auto side_effect = std::make_shared<std::atomic<bool>>(false);
+    fh::ThreadPool pool(2);
+    fh::SweepRunner<int> sweep(pool);
+    sweep.submit([side_effect] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        // Well past the deadline by now, yet still executing.
+        side_effect->store(true);
+        return 1;
+    });
+    auto outcome = sweep.runChecked();
+    unsetenv("FVC_JOB_TIMEOUT_MS");
+    ASSERT_EQ(outcome.failures.size(), 1u);
+    EXPECT_TRUE(outcome.failures[0].timed_out);
+    EXPECT_FALSE(outcome.results[0].has_value());
+    // runChecked() returned only after the job finished: the
+    // watchdog never reclaimed the thread, so the side effect of
+    // the "killed" job is visible.
+    EXPECT_TRUE(side_effect->load());
+}
+
 TEST(SweepRunnerTest, FaultSpecFailsTheNamedGlobalJob)
 {
     // Sample the process-wide submission counter (consumes one

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Gate: the result cache must not change simulation output.
+
+Usage:
+    bench/check_result_cache_determinism.py --build-dir BUILD
+                                            [--accesses N]
+                                            [--jobs ...]
+    bench/check_result_cache_determinism.py --self-test
+
+Runs the Figure 13 sweep with the result cache off (the reference),
+then for each requested FVC_JOBS value walks a fresh store through
+its whole life cycle — cold (simulate and publish), warm (serve
+with FVC_RESULT_EXPECT_WARM=1), readonly (serve without write
+access) — and demands that every run's stdout table and every
+exported CSV be byte-identical to the reference. The cache's whole
+contract is that fingerprint lookup, dedup and the disk round trip
+are invisible in the output; any drift — a counter that fails to
+round-trip through the record codec, a reordered row, a float
+formatting change — fails this gate before it can land.
+
+The cache-off reference runs first so the comparison blames the
+result cache, not the baseline.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def gather_run(label, stdout_bytes, csv_dir):
+    """Bundle one run's observable output for comparison."""
+    csvs = {}
+    for name in sorted(os.listdir(csv_dir)):
+        if not name.endswith(".csv"):
+            continue
+        with open(os.path.join(csv_dir, name), "rb") as f:
+            csvs[name] = f.read()
+    return {"label": label, "stdout": stdout_bytes, "csvs": csvs}
+
+
+def compare_runs(reference, candidate):
+    """List of mismatch descriptions between two gathered runs."""
+    errors = []
+    ref_label = reference["label"]
+    cand_label = candidate["label"]
+    if reference["stdout"] != candidate["stdout"]:
+        errors.append(
+            f"{cand_label}: stdout differs from {ref_label} "
+            f"({len(reference['stdout'])} vs "
+            f"{len(candidate['stdout'])} bytes)"
+        )
+    ref_csvs = reference["csvs"]
+    cand_csvs = candidate["csvs"]
+    for name in sorted(set(ref_csvs) - set(cand_csvs)):
+        errors.append(f"{cand_label}: missing CSV {name}")
+    for name in sorted(set(cand_csvs) - set(ref_csvs)):
+        errors.append(f"{cand_label}: unexpected extra CSV {name}")
+    for name in sorted(set(ref_csvs) & set(cand_csvs)):
+        if ref_csvs[name] != cand_csvs[name]:
+            errors.append(
+                f"{cand_label}: CSV {name} differs from "
+                f"{ref_label}"
+            )
+    return errors
+
+
+def run_fig13(binary, label, accesses, jobs, mode, result_dir,
+              expect_warm=False):
+    """Run the Figure 13 sweep; return its gathered output bundle.
+
+    `mode` of None disables the cache (no FVC_RESULT_DIR at all);
+    otherwise it is the FVC_RESULT_CACHE value and `result_dir`
+    holds the store.
+    """
+    env = dict(os.environ)
+    for key in ("FVC_WORKERS", "FVC_FABRIC_DIR", "FVC_FAULT_SPEC",
+                "FVC_STRICT", "FVC_CSV_DIR", "FVC_JOBS",
+                "FVC_TRACE_DIR", "FVC_TRACE_STORE",
+                "FVC_TRACE_EXPECT_WARM", "FVC_RESULT_DIR",
+                "FVC_RESULT_CACHE", "FVC_RESULT_CACHE_MB",
+                "FVC_RESULT_EXPECT_WARM"):
+        env.pop(key, None)
+    env["FVC_TRACE_ACCESSES"] = str(accesses)
+    if jobs is not None:
+        env["FVC_JOBS"] = str(jobs)
+    if mode is not None:
+        env["FVC_RESULT_DIR"] = result_dir
+        env["FVC_RESULT_CACHE"] = mode
+    if expect_warm:
+        env["FVC_RESULT_EXPECT_WARM"] = "1"
+    with tempfile.TemporaryDirectory(prefix="fvc-rcd-") as csv_dir:
+        env["FVC_CSV_DIR"] = csv_dir
+        proc = subprocess.run(
+            [binary], env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, timeout=300, check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr.decode(errors="replace"))
+            raise RuntimeError(
+                f"{label}: fig13 exited {proc.returncode}")
+        return gather_run(label, proc.stdout, csv_dir)
+
+
+def self_test():
+    """Exercise the comparison logic on synthetic run bundles."""
+    ref = {"label": "cache-off", "stdout": b"table\n",
+           "csvs": {"a.csv": b"1,2\n", "b.csv": b"3,4\n"}}
+
+    # 1. Byte-identical runs pass.
+    same = {"label": "warm jobs=8", "stdout": b"table\n",
+            "csvs": {"a.csv": b"1,2\n", "b.csv": b"3,4\n"}}
+    assert compare_runs(ref, same) == []
+
+    # 2. stdout drift is caught and names both runs.
+    drift = dict(same, stdout=b"table!\n")
+    errors = compare_runs(ref, drift)
+    assert len(errors) == 1 and "stdout" in errors[0], errors
+    assert "warm jobs=8" in errors[0] and "cache-off" in errors[0]
+
+    # 3. A changed, a missing and an extra CSV are all caught.
+    changed = dict(same, csvs={"a.csv": b"1,9\n", "c.csv": b""})
+    errors = compare_runs(ref, changed)
+    assert len(errors) == 3, errors
+    assert any("a.csv differs" in e for e in errors), errors
+    assert any("missing CSV b.csv" in e for e in errors), errors
+    assert any("extra CSV c.csv" in e for e in errors), errors
+
+    print("check_result_cache_determinism.py self-test: "
+          "all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir",
+                        help="CMake build dir holding bench/")
+    parser.add_argument("--accesses", type=int, default=20000,
+                        help="FVC_TRACE_ACCESSES per cell "
+                             "(default 20000: small but nonzero "
+                             "miss counts)")
+    parser.add_argument("--jobs", type=int, nargs="*",
+                        default=[1, 8],
+                        help="FVC_JOBS values to sweep "
+                             "(default 1 8)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and "
+                             "exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.build_dir:
+        parser.error("--build-dir is required (or use --self-test)")
+
+    binary = os.path.join(args.build_dir, "bench",
+                          "fig13_dmc_vs_fvc")
+    if not os.path.exists(binary):
+        print(f"error: {binary} not found (build the bench targets "
+              f"first)", file=sys.stderr)
+        return 1
+
+    reference = run_fig13(binary, "cache-off", args.accesses,
+                          None, None, None)
+    print(f"cache-off reference: {len(reference['stdout'])} stdout "
+          f"bytes, {len(reference['csvs'])} CSVs")
+    if not reference["csvs"]:
+        print("error: reference run exported no CSVs; FVC_CSV_DIR "
+              "plumbing is broken", file=sys.stderr)
+        return 1
+
+    failures = []
+    for jobs in args.jobs:
+        with tempfile.TemporaryDirectory(
+                prefix="fvc-rcd-store-") as rdir:
+            stages = [
+                (f"cold jobs={jobs}", "on", False),
+                (f"warm jobs={jobs}", "on", True),
+                (f"readonly jobs={jobs}", "readonly", True),
+            ]
+            for label, mode, expect_warm in stages:
+                candidate = run_fig13(binary, label, args.accesses,
+                                      jobs, mode, rdir,
+                                      expect_warm=expect_warm)
+                errors = compare_runs(reference, candidate)
+                tag = "ok" if not errors else "MISMATCH"
+                print(f"  {tag:<8} {label}")
+                failures.extend(errors)
+
+    if failures:
+        print(f"\n{len(failures)} determinism failure(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\nresult-cache output byte-identical to cache-off "
+          f"across cold/warm/readonly and FVC_JOBS {args.jobs}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

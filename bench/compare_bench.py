@@ -122,6 +122,36 @@ def check_worker_counts(base_workers, new_workers):
     )
 
 
+def load_result_cache_state(path):
+    """The fvc_result_cache context of a result file.
+
+    Files recorded before the context existed count as "off" (the
+    result cache did not exist, so it cannot have served the run).
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("fvc_result_cache", "off")
+
+
+def check_result_cache_states(base_state, new_state):
+    """Error string when two runs' result-cache states cannot be
+    compared, else None.
+
+    A warm result cache serves sweep cells from disk without
+    touching the replay engine; comparing a warm run against a cold
+    or off one would credit (or blame) the cache for every sweep
+    benchmark. Only like-for-like runs are comparable.
+    """
+    if base_state == new_state:
+        return None
+    return (
+        f"result-cache state mismatch: baseline ran with "
+        f"fvc_result_cache={base_state!r} but new ran with "
+        f"{new_state!r}; rerun both with the same FVC_RESULT_DIR / "
+        f"FVC_RESULT_CACHE setup"
+    )
+
+
 def check_store_states(base_state, new_state):
     """Error string when two runs' trace-store states cannot be
     compared, else None.
@@ -239,6 +269,15 @@ def self_test():
     assert check_worker_counts("4", "4") is None
     assert check_worker_counts("serial", "serial") is None
 
+    # 9. Mismatched result-cache states refuse the comparison;
+    #    matching states (including both predating the context) are
+    #    fine.
+    assert check_result_cache_states("warm", "cold") is not None
+    assert check_result_cache_states("off", "warm") is not None
+    assert check_result_cache_states("cold", "off") is not None
+    assert check_result_cache_states("warm", "warm") is None
+    assert check_result_cache_states("off", "off") is None
+
     print("compare_bench.py self-test: all checks passed")
     return 0
 
@@ -277,6 +316,12 @@ def main(argv):
         return 1
     mismatch = check_worker_counts(load_workers(args.baseline),
                                    load_workers(args.new))
+    if mismatch:
+        print(f"error: {mismatch}", file=sys.stderr)
+        return 1
+    mismatch = check_result_cache_states(
+        load_result_cache_state(args.baseline),
+        load_result_cache_state(args.new))
     if mismatch:
         print(f"error: {mismatch}", file=sys.stderr)
         return 1

@@ -5,13 +5,21 @@
  * equal physical size: a plain DMC, the DMC + FVC of this paper,
  * and a compressed data cache where two frequent-valued lines
  * share one physical slot.
+ *
+ * The DMC and DMC+FVC cells resolve through resultcache::runCells;
+ * the CompressedDataCache has no result-store codec (its extra
+ * compression counters don't fit the CellStats record), so it
+ * replays directly against the shared trace.
  */
 
 #include <cstdio>
 
 #include "core/compressed_cache.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -35,33 +43,55 @@ main()
     for (size_t c = 1; c <= 5; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
+    cache::CacheConfig dmc;
+    dmc.size_bytes = 8 * 1024;
+    dmc.line_bytes = 32;
+    core::FvcConfig fvc;
+    fvc.entries = 256;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+
+    const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 86;
+        base.dmc = dmc;
+        specs.push_back(base);
+        fabric::CellSpec with = base;
+        with.fvc = fvc;
+        with.has_fvc = true;
+        specs.push_back(with);
+    }
+    auto results = resultcache::runCells(specs, "compression sweep");
+
+    size_t job = 0;
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 86);
+        const auto &base_slot = results[job++];
+        const auto &fvc_slot = results[job++];
 
-        cache::CacheConfig dmc;
-        dmc.size_bytes = 8 * 1024;
-        dmc.line_bytes = 32;
-        double base = harness::dmcMissRate(trace, dmc);
-
-        core::FvcConfig fvc;
-        fvc.entries = 256;
-        fvc.line_bytes = 32;
-        fvc.code_bits = 3;
-        auto fvc_sys = harness::runDmcFvc(trace, dmc, fvc);
-
+        auto trace = harness::sharedTrace(profile, accesses, 86);
         core::CompressedCacheConfig comp_cfg;
         comp_cfg.size_bytes = 8 * 1024;
         comp_cfg.line_bytes = 32;
         comp_cfg.code_bits = 3;
         core::CompressedDataCache comp(
             comp_cfg,
-            core::FrequentValueEncoding(trace.frequent_values, 3));
-        harness::replay(trace, comp);
+            core::FrequentValueEncoding(trace->frequent_values, 3));
+        harness::replay(*trace, comp);
 
         table.addRow(
-            {trace.name, util::fixedStr(base, 3),
-             util::fixedStr(fvc_sys->stats().missRatePercent(), 3),
+            {profile.name,
+             base_slot
+                 ? util::fixedStr(
+                       base_slot->cache.missRatePercent(), 3)
+                 : harness::failedCell(),
+             fvc_slot ? util::fixedStr(
+                            fvc_slot->cache.missRatePercent(), 3)
+                      : harness::failedCell(),
              util::fixedStr(comp.stats().missRatePercent(), 3),
              util::fixedStr(
                  100.0 * comp.compressionStats()

@@ -5,12 +5,18 @@
  * off-chip transfers dominate energy. This bench quantifies that:
  * memory-system energy of a DMC, the same DMC + FVC, and a doubled
  * DMC, per benchmark.
+ *
+ * Three cells per benchmark — base DMC, DMC+FVC, doubled DMC —
+ * resolved through resultcache::runCells; the energy model runs on
+ * the returned counters.
  */
 
 #include <cstdio>
 
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "resultcache/repository.hh"
 #include "timing/energy.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -45,34 +51,55 @@ main()
     for (size_t c = 1; c <= 5; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
+    const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 82;
+        base.dmc = dmc;
+        specs.push_back(base);
+        fabric::CellSpec with = base;
+        with.fvc = fvc;
+        with.has_fvc = true;
+        specs.push_back(with);
+        fabric::CellSpec doubled = base;
+        doubled.dmc = big;
+        specs.push_back(doubled);
+    }
+    auto results = resultcache::runCells(specs, "energy sweep");
+
+    size_t job = 0;
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 82);
-
-        cache::DmcSystem base_sys(dmc);
-        harness::replay(trace, base_sys);
+        const auto &base_slot = results[job++];
+        const auto &fvc_slot = results[job++];
+        const auto &big_slot = results[job++];
+        if (!base_slot || !fvc_slot || !big_slot) {
+            table.addRow({profile.name, harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell()});
+            continue;
+        }
         auto base_energy =
-            timing::systemEnergy(dmc, base_sys.stats());
-
-        auto fvc_sys = harness::runDmcFvc(trace, dmc, fvc);
+            timing::systemEnergy(dmc, base_slot->cache);
         auto fvc_energy =
-            timing::systemEnergy(*fvc_sys, dmc, fvc);
-
-        cache::DmcSystem big_sys(big);
-        harness::replay(trace, big_sys);
+            timing::systemEnergy(fvc_slot->cache, dmc, fvc);
         auto big_energy =
-            timing::systemEnergy(big, big_sys.stats());
+            timing::systemEnergy(big, big_slot->cache);
 
         double traffic_saving =
             100.0 *
-            (static_cast<double>(
-                 base_sys.stats().trafficBytes()) -
+            (static_cast<double>(base_slot->cache.trafficBytes()) -
              static_cast<double>(
-                 fvc_sys->stats().trafficBytes())) /
-            static_cast<double>(base_sys.stats().trafficBytes());
+                 fvc_slot->cache.trafficBytes())) /
+            static_cast<double>(base_slot->cache.trafficBytes());
 
         table.addRow(
-            {trace.name,
+            {profile.name,
              util::fixedStr(base_energy.total_mj(), 3),
              util::fixedStr(fvc_energy.total_mj(), 3),
              util::fixedStr(big_energy.total_mj(), 3),

@@ -5,17 +5,17 @@
  * experiments on the integer suite only; this bench closes that
  * gap with the modelled FP workloads.
  *
- * Parallel sweep: one job per FP benchmark; each job replays its
- * shared trace through the bare DMC and the DMC+FVC.
+ * Two cells per FP benchmark — bare DMC and DMC+FVC — resolved
+ * through resultcache::runCells over each benchmark's shared trace.
  */
 
 #include <algorithm>
 #include <cstdio>
 
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -46,30 +46,40 @@ main()
         double with_fvc;
         double traffic_saving;
     };
-    harness::SweepRunner<Cell> sweep;
     const auto names = workload::allSpecFpNames();
+    std::vector<fabric::CellSpec> specs;
     for (const auto &name : names) {
-        auto profile = workload::specFpProfile(name);
-        sweep.submit([profile, dmc, fvc, accesses] {
-            auto trace = harness::sharedTrace(profile, accesses, 89);
-
-            cache::DmcSystem base_sys(dmc);
-            harness::replayFast(*trace, base_sys);
-            auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-
-            Cell cell;
-            cell.base = base_sys.stats().missRatePercent();
-            cell.with_fvc = sys->stats().missRatePercent();
-            cell.traffic_saving = 100.0 *
-                (static_cast<double>(
-                     base_sys.stats().trafficBytes()) -
-                 static_cast<double>(sys->stats().trafficBytes())) /
-                static_cast<double>(std::max<uint64_t>(
-                    base_sys.stats().trafficBytes(), 1));
-            return cell;
-        });
+        fabric::CellSpec base;
+        base.fp_name = name;
+        base.accesses = accesses;
+        base.seed = 89;
+        base.dmc = dmc;
+        specs.push_back(base);
+        fabric::CellSpec with = base;
+        with.fvc = fvc;
+        with.has_fvc = true;
+        specs.push_back(with);
     }
-    auto cells = harness::runDegraded(sweep, "SPECfp95 sweep");
+    auto results = resultcache::runCells(specs, "SPECfp95 sweep");
+
+    std::vector<std::optional<Cell>> cells;
+    for (size_t i = 0; i < results.size(); i += 2) {
+        if (!results[i] || !results[i + 1]) {
+            cells.push_back(std::nullopt);
+            continue;
+        }
+        Cell cell;
+        cell.base = results[i]->cache.missRatePercent();
+        cell.with_fvc = results[i + 1]->cache.missRatePercent();
+        cell.traffic_saving =
+            100.0 *
+            (static_cast<double>(results[i]->cache.trafficBytes()) -
+             static_cast<double>(
+                 results[i + 1]->cache.trafficBytes())) /
+            static_cast<double>(std::max<uint64_t>(
+                results[i]->cache.trafficBytes(), 1));
+        cells.push_back(cell);
+    }
 
     util::Table table({"benchmark", "DMC miss %", "+FVC miss %",
                        "reduction %", "traffic saving %"});

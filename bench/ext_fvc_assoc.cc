@@ -5,18 +5,17 @@
  * victim cache). How much is left on the table? Sweep the FVC's
  * own associativity at fixed entry count.
  *
- * Parallel sweep: one job per (benchmark, FVC associativity) plus a
- * bare-DMC job per benchmark, all over the shared per-benchmark
- * trace.
+ * One cell per (benchmark, FVC associativity) plus a bare-DMC cell
+ * per benchmark, resolved through resultcache::runCells over the
+ * shared per-benchmark trace.
  */
 
 #include <cstdio>
 
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
-#include "sim/multi_config.hh"
+#include "resultcache/repository.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -41,61 +40,31 @@ main()
 
     // Cell 0 per benchmark: bare DMC; cells 1..3: the FVC assocs.
     const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 88;
+        base.dmc = dmc;
+        specs.push_back(base);
+        for (uint32_t assoc : assocs) {
+            fabric::CellSpec cell = base;
+            cell.fvc.entries = 512;
+            cell.fvc.line_bytes = 32;
+            cell.fvc.code_bits = 3;
+            cell.fvc.assoc = assoc;
+            cell.has_fvc = true;
+            specs.push_back(cell);
+        }
+    }
+    auto results =
+        resultcache::runCells(specs, "FVC associativity sweep");
     std::vector<std::optional<double>> rates;
-    if (sim::singlePassEnabled()) {
-        harness::SweepRunner<std::vector<double>> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, dmc, assocs, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 88);
-                sim::MultiConfigSimulator engine(
-                    trace->columns, trace->initial_image,
-                    trace->frequent_values);
-                engine.addDmc(dmc);
-                for (uint32_t assoc : assocs) {
-                    core::FvcConfig fvc;
-                    fvc.entries = 512;
-                    fvc.line_bytes = 32;
-                    fvc.code_bits = 3;
-                    fvc.assoc = assoc;
-                    engine.addDmcFvc(dmc, fvc);
-                }
-                engine.run();
-                std::vector<double> out;
-                for (size_t c = 0; c < engine.cellCount(); ++c)
-                    out.push_back(engine.missRatePercent(c));
-                return out;
-            });
-        }
-        rates = harness::expandGrouped(
-            harness::runDegraded(sweep, "FVC associativity sweep"),
-            1 + assocs.size());
-    } else {
-        harness::SweepRunner<double> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, dmc, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 88);
-                return harness::dmcMissRate(*trace, dmc);
-            });
-            for (uint32_t assoc : assocs) {
-                sweep.submit([profile, dmc, assoc, accesses] {
-                    auto trace =
-                        harness::sharedTrace(profile, accesses, 88);
-                    core::FvcConfig fvc;
-                    fvc.entries = 512;
-                    fvc.line_bytes = 32;
-                    fvc.code_bits = 3;
-                    fvc.assoc = assoc;
-                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                    return sys->stats().missRatePercent();
-                });
-            }
-        }
-        rates =
-            harness::runDegraded(sweep, "FVC associativity sweep");
+    for (const auto &slot : results) {
+        rates.push_back(
+            slot ? std::optional(slot->cache.missRatePercent())
+                 : std::nullopt);
     }
 
     util::Table table({"benchmark", "DMC miss %", "1-way red %",

@@ -4,13 +4,21 @@
  * paper's offline-profiled FVC against the AdaptiveDmcFvcSystem,
  * which learns its value set from a bounded sketch during a warmup
  * window (and can periodically retrain).
+ *
+ * The bare-DMC and offline-FVC cells resolve through
+ * resultcache::runCells; the adaptive systems carry extra training
+ * state with no result-store codec, so they replay directly
+ * against the shared trace.
  */
 
 #include <cstdio>
 
 #include "core/adaptive_system.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "harness/trace_repo.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -42,31 +50,58 @@ main()
     for (size_t c = 1; c <= 5; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
-        auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 84);
-        double base = harness::dmcMissRate(trace, dmc);
+    const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 84;
+        base.dmc = dmc;
+        specs.push_back(base);
+        fabric::CellSpec offline = base;
+        offline.fvc = fvc;
+        offline.has_fvc = true;
+        specs.push_back(offline);
+    }
+    auto results =
+        resultcache::runCells(specs, "online profiling sweep");
 
-        auto offline = harness::runDmcFvc(trace, dmc, fvc);
+    size_t job = 0;
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        const auto &base_slot = results[job++];
+        const auto &offline_slot = results[job++];
+
+        auto trace = harness::sharedTrace(profile, accesses, 84);
 
         core::AdaptiveTrainPolicy once;
         once.warmup_accesses = accesses / 20;
         core::AdaptiveDmcFvcSystem online(dmc, fvc, once);
-        harness::replay(trace, online);
+        harness::replay(*trace, online);
 
         core::AdaptiveTrainPolicy periodic = once;
         periodic.retrain_interval = accesses / 4;
         core::AdaptiveDmcFvcSystem retraining(dmc, fvc, periodic);
-        harness::replay(trace, retraining);
+        harness::replay(*trace, retraining);
 
+        if (!base_slot || !offline_slot) {
+            table.addRow({profile.name, harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell()});
+            continue;
+        }
+        double base = base_slot->cache.missRatePercent();
         auto reduction = [base](double with) {
             return util::fixedStr(
                 100.0 * (base - with) / (base > 0.0 ? base : 1.0),
                 1);
         };
         table.addRow(
-            {trace.name, util::fixedStr(base, 3),
-             reduction(offline->stats().missRatePercent()),
+            {profile.name, util::fixedStr(base, 3),
+             reduction(offline_slot->cache.missRatePercent()),
              reduction(online.stats().missRatePercent()),
              reduction(retraining.stats().missRatePercent()),
              std::to_string(

@@ -4,12 +4,17 @@
  * calls out — skipping barren insertions (lines with no frequent
  * content) and frequent-value write allocation (Section 3's
  * "second situation").
+ *
+ * Five cells per benchmark — the bare DMC and the four policy
+ * combinations — resolved through resultcache::runCells.
  */
 
 #include <cstdio>
 
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -54,27 +59,48 @@ main()
     for (size_t c = 1; c < headers.size(); ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::fvSpecInt()) {
-        auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 85);
-        double base = harness::dmcMissRate(trace, dmc);
-
-        std::vector<std::string> row = {trace.name,
-                                        util::fixedStr(base, 3)};
+    const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 85;
+        base.dmc = dmc;
+        specs.push_back(base);
         for (const auto &variant : variants) {
-            core::DmcFvcPolicy policy;
-            policy.skip_barren_insertions = variant.skip_barren;
-            policy.write_allocate_frequent =
+            fabric::CellSpec cell = base;
+            cell.fvc = fvc;
+            cell.has_fvc = true;
+            cell.policy.skip_barren_insertions = variant.skip_barren;
+            cell.policy.write_allocate_frequent =
                 variant.write_allocate;
-            core::DmcFvcSystem sys(
-                dmc, fvc,
-                core::FrequentValueEncoding(trace.frequent_values,
-                                            3),
-                policy);
-            harness::replay(trace, sys);
+            specs.push_back(cell);
+        }
+    }
+    auto results =
+        resultcache::runCells(specs, "policy ablation sweep");
+
+    size_t job = 0;
+    for (auto bench : benches) {
+        auto profile = workload::specIntProfile(bench);
+        const auto &base_slot = results[job++];
+        std::vector<std::string> row = {
+            profile.name,
+            base_slot
+                ? util::fixedStr(base_slot->cache.missRatePercent(),
+                                 3)
+                : harness::failedCell()};
+        for (size_t v = 0; v < std::size(variants); ++v) {
+            const auto &slot = results[job++];
+            if (!base_slot || !slot) {
+                row.push_back(harness::failedCell());
+                continue;
+            }
+            double base = base_slot->cache.missRatePercent();
             row.push_back(util::fixedStr(
                 100.0 *
-                    (base - sys.stats().missRatePercent()) /
+                    (base - slot->cache.missRatePercent()) /
                     (base > 0.0 ? base : 1.0),
                 1));
         }

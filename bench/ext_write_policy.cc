@@ -4,12 +4,17 @@
  * restricts itself to write-back caches "because write-through
  * caches are known to generate much higher levels of traffic";
  * this bench measures that premise on the modelled workloads.
+ *
+ * Two cells per benchmark — write-back and write-through — resolved
+ * through resultcache::runCells.
  */
 
 #include <cstdio>
 
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -31,32 +36,46 @@ main()
     for (size_t c = 1; c <= 5; ++c)
         table.alignRight(c);
 
-    for (auto bench : workload::allSpecInt()) {
+    const auto benches = workload::allSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec wb;
+        wb.bench = bench;
+        wb.accesses = accesses;
+        wb.seed = 83;
+        wb.dmc.size_bytes = 16 * 1024;
+        wb.dmc.line_bytes = 32;
+        specs.push_back(wb);
+        fabric::CellSpec wt = wb;
+        wt.dmc.write_policy = cache::WritePolicy::WriteThrough;
+        specs.push_back(wt);
+    }
+    auto results = resultcache::runCells(specs, "write policy sweep");
+
+    size_t job = 0;
+    for (auto bench : benches) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 83);
-
-        cache::CacheConfig wb;
-        wb.size_bytes = 16 * 1024;
-        wb.line_bytes = 32;
-        cache::CacheConfig wt = wb;
-        wt.write_policy = cache::WritePolicy::WriteThrough;
-
-        cache::DmcSystem wb_sys(wb), wt_sys(wt);
-        harness::replay(trace, wb_sys);
-        harness::replay(trace, wt_sys);
-
+        const auto &wb_slot = results[job++];
+        const auto &wt_slot = results[job++];
+        if (!wb_slot || !wt_slot) {
+            table.addRow({profile.name, harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell()});
+            continue;
+        }
         double ratio =
-            static_cast<double>(wt_sys.stats().trafficBytes()) /
-            static_cast<double>(
-                std::max<uint64_t>(wb_sys.stats().trafficBytes(),
-                                   1));
+            static_cast<double>(wt_slot->cache.trafficBytes()) /
+            static_cast<double>(std::max<uint64_t>(
+                wb_slot->cache.trafficBytes(), 1));
         table.addRow(
-            {trace.name,
-             util::withCommas(wb_sys.stats().trafficBytes()),
-             util::withCommas(wt_sys.stats().trafficBytes()),
+            {profile.name,
+             util::withCommas(wb_slot->cache.trafficBytes()),
+             util::withCommas(wt_slot->cache.trafficBytes()),
              util::fixedStr(ratio, 2),
-             util::fixedStr(wb_sys.stats().missRatePercent(), 3),
-             util::fixedStr(wt_sys.stats().missRatePercent(), 3)});
+             util::fixedStr(wb_slot->cache.missRatePercent(), 3),
+             util::fixedStr(wt_slot->cache.missRatePercent(), 3)});
     }
     std::printf("%s", table.render().c_str());
     return 0;

@@ -5,18 +5,17 @@
  * lines; the FVC exploits the top 7 frequently accessed values
  * (3-bit codes).
  *
- * Parallel sweep: one job per (benchmark, FVC size) plus one bare-
- * DMC job per benchmark, all sharing each benchmark's trace via the
- * TraceRepository.
+ * One cell per (benchmark, FVC size) plus one bare-DMC cell per
+ * benchmark, resolved through resultcache::runCells (warm store
+ * hits skip the engine; novel cells share each benchmark's trace).
  */
 
 #include <cstdio>
 
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
-#include "sim/multi_config.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -48,64 +47,32 @@ main()
         table.alignRight(c);
 
     // Cell order per benchmark: the bare DMC first, then the entry
-    // counts. Single-pass mode runs one job per benchmark that
-    // replays the shared trace once through every cell; per-cell
-    // mode (FVC_SINGLE_PASS=0) submits one job per cell. Both paths
-    // yield the same flat per-cell vector.
+    // counts. The repository groups cells sharing a trace into one
+    // single-pass replay (or serves them warm from the store).
     const auto benches = workload::fvSpecInt();
-    const size_t per_group = 1 + entry_counts.size();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 17;
+        base.dmc = dmc;
+        specs.push_back(base);
+        for (uint32_t entries : entry_counts) {
+            fabric::CellSpec cell = base;
+            cell.fvc.entries = entries;
+            cell.fvc.line_bytes = dmc.line_bytes;
+            cell.fvc.code_bits = 3;
+            cell.has_fvc = true;
+            specs.push_back(cell);
+        }
+    }
+    auto results = resultcache::runCells(specs, "Figure 10 sweep");
     std::vector<std::optional<double>> rates;
-    if (sim::singlePassEnabled()) {
-        harness::SweepRunner<std::vector<double>> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, dmc, entry_counts, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 17);
-                sim::MultiConfigSimulator engine(
-                    trace->columns, trace->initial_image,
-                    trace->frequent_values);
-                engine.addDmc(dmc);
-                for (uint32_t entries : entry_counts) {
-                    core::FvcConfig fvc;
-                    fvc.entries = entries;
-                    fvc.line_bytes = dmc.line_bytes;
-                    fvc.code_bits = 3;
-                    engine.addDmcFvc(dmc, fvc);
-                }
-                engine.run();
-                std::vector<double> out;
-                for (size_t c = 0; c < engine.cellCount(); ++c)
-                    out.push_back(engine.missRatePercent(c));
-                return out;
-            });
-        }
-        rates = harness::expandGrouped(
-            harness::runDegraded(sweep, "Figure 10 sweep"),
-            per_group);
-    } else {
-        harness::SweepRunner<double> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, dmc, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 17);
-                return harness::dmcMissRate(*trace, dmc);
-            });
-            for (uint32_t entries : entry_counts) {
-                sweep.submit([profile, dmc, entries, accesses] {
-                    auto trace =
-                        harness::sharedTrace(profile, accesses, 17);
-                    core::FvcConfig fvc;
-                    fvc.entries = entries;
-                    fvc.line_bytes = dmc.line_bytes;
-                    fvc.code_bits = 3;
-                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                    return sys->stats().missRatePercent();
-                });
-            }
-        }
-        rates = harness::runDegraded(sweep, "Figure 10 sweep");
+    for (const auto &slot : results) {
+        rates.push_back(
+            slot ? std::optional(slot->cache.missRatePercent())
+                 : std::nullopt);
     }
 
     size_t job = 0;

@@ -9,8 +9,10 @@
 #include <cstdio>
 
 #include "core/size_model.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -42,18 +44,35 @@ main()
     for (size_t c = 1; c <= 3; ++c)
         table.alignRight(c);
 
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : workload::fvSpecInt()) {
+        fabric::CellSpec cell;
+        cell.bench = bench;
+        cell.accesses = accesses;
+        cell.seed = 71;
+        cell.dmc = dmc;
+        cell.fvc = fvc;
+        cell.has_fvc = true;
+        specs.push_back(cell);
+    }
+    auto results = resultcache::runCells(specs, "Figure 11 sweep");
+
+    size_t job = 0;
     for (auto bench : workload::fvSpecInt()) {
         auto profile = workload::specIntProfile(bench);
-        auto trace = harness::prepareTrace(profile, accesses, 71);
-        auto sys = harness::runDmcFvc(trace, dmc, fvc);
-        double content =
-            sys->fvcStats().averageFrequentContent();
+        const auto &slot = results[job++];
+        if (!slot) {
+            table.addRow({profile.name, harness::failedCell(),
+                          harness::failedCell(),
+                          harness::failedCell()});
+            continue;
+        }
+        double content = slot->fvc.averageFrequentContent();
         table.addRow(
-            {trace.name, util::fixedStr(100.0 * content, 1),
+            {profile.name, util::fixedStr(100.0 * content, 1),
              util::fixedStr(core::compressionFactor(fvc, content),
                             2),
-             util::withCommas(
-                 sys->fvcStats().occupancy_samples)});
+             util::withCommas(slot->fvc.occupancy_samples)});
     }
     table.exportCsv("fig11_fvc_content");
     std::printf("%s", table.render().c_str());

@@ -5,20 +5,19 @@
  * the 12 DMC configurations whose access time is not faster than
  * the FVC's.
  *
- * Sweep-shaped: (benchmark x DMC config) jobs fan across the
- * FVC_JOBS worker pool; each job pulls its benchmark's trace from
- * the shared TraceRepository, so the trace is generated once and
- * replayed concurrently. Results print in submission order, so the
- * tables are identical for any FVC_JOBS.
+ * All (benchmark x DMC config x FVC width) cells resolve through
+ * resultcache::runCells: warm fingerprints come from the store,
+ * novel cells share each benchmark's trace in one grouped replay.
+ * Results print in submission order, so the tables are identical
+ * for any FVC_JOBS.
  */
 
 #include <cstdio>
 
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
-#include "sim/multi_config.hh"
+#include "resultcache/repository.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -50,87 +49,51 @@ main()
         }
     }
 
-    // One job per (benchmark, DMC config): the bare-DMC miss rate
-    // and the miss rate with each of the three FVC widths.
+    // Four cells per (benchmark, DMC config): the bare DMC and the
+    // three FVC widths, flat in submission order.
     struct Cell
     {
         double base;
         double with_fvc[3];
     };
     const auto benches = workload::fvSpecInt();
-    std::vector<std::optional<Cell>> cells;
-    if (sim::singlePassEnabled()) {
-        // One job per benchmark: a single replay updates all 12 DMC
-        // geometries and their 3 FVC widths (48 cache instances).
-        harness::SweepRunner<std::vector<Cell>> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, configs, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 72);
-                sim::MultiConfigSimulator engine(
-                    trace->columns, trace->initial_image,
-                    trace->frequent_values);
-                for (const auto &config : configs) {
-                    cache::CacheConfig dmc;
-                    dmc.size_bytes = config.kb * 1024;
-                    dmc.line_bytes = config.line;
-                    engine.addDmc(dmc);
-                    for (unsigned bits : {1u, 2u, 3u}) {
-                        core::FvcConfig fvc;
-                        fvc.entries = 512;
-                        fvc.line_bytes = config.line;
-                        fvc.code_bits = bits;
-                        engine.addDmcFvc(dmc, fvc);
-                    }
-                }
-                engine.run();
-                std::vector<Cell> out;
-                size_t c = 0;
-                for (size_t i = 0; i < configs.size(); ++i) {
-                    Cell cell;
-                    cell.base = engine.missRatePercent(c++);
-                    for (unsigned bits : {1u, 2u, 3u}) {
-                        cell.with_fvc[bits - 1] =
-                            engine.missRatePercent(c++);
-                    }
-                    out.push_back(cell);
-                }
-                return out;
-            });
-        }
-        cells = harness::expandGrouped(
-            harness::runDegraded(sweep, "Figure 12 grid"),
-            configs.size());
-    } else {
-        harness::SweepRunner<Cell> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            for (const auto &config : configs) {
-                sweep.submit([profile, config, accesses] {
-                    auto trace =
-                        harness::sharedTrace(profile, accesses, 72);
-                    cache::CacheConfig dmc;
-                    dmc.size_bytes = config.kb * 1024;
-                    dmc.line_bytes = config.line;
-
-                    Cell cell;
-                    cell.base = harness::dmcMissRate(*trace, dmc);
-                    for (unsigned bits : {1u, 2u, 3u}) {
-                        core::FvcConfig fvc;
-                        fvc.entries = 512;
-                        fvc.line_bytes = config.line;
-                        fvc.code_bits = bits;
-                        auto sys =
-                            harness::runDmcFvc(*trace, dmc, fvc);
-                        cell.with_fvc[bits - 1] =
-                            sys->stats().missRatePercent();
-                    }
-                    return cell;
-                });
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        for (const auto &config : configs) {
+            fabric::CellSpec base;
+            base.bench = bench;
+            base.accesses = accesses;
+            base.seed = 72;
+            base.dmc.size_bytes = config.kb * 1024;
+            base.dmc.line_bytes = config.line;
+            specs.push_back(base);
+            for (unsigned bits : {1u, 2u, 3u}) {
+                fabric::CellSpec cell = base;
+                cell.fvc.entries = 512;
+                cell.fvc.line_bytes = config.line;
+                cell.fvc.code_bits = bits;
+                cell.has_fvc = true;
+                specs.push_back(cell);
             }
         }
-        cells = harness::runDegraded(sweep, "Figure 12 grid");
+    }
+    auto results = resultcache::runCells(specs, "Figure 12 grid");
+
+    std::vector<std::optional<Cell>> cells;
+    for (size_t i = 0; i < results.size(); i += 4) {
+        bool ok = results[i] && results[i + 1] && results[i + 2] &&
+                  results[i + 3];
+        if (!ok) {
+            cells.push_back(std::nullopt);
+            continue;
+        }
+        Cell cell;
+        cell.base = results[i]->cache.missRatePercent();
+        for (unsigned bits : {1u, 2u, 3u}) {
+            cell.with_fvc[bits - 1] =
+                results[i + bits]->cache.missRatePercent();
+        }
+        cells.push_back(cell);
     }
 
     size_t job = 0;

@@ -6,22 +6,22 @@
  * words and 1/3/7 exploited values. This bench regenerates every
  * row of that figure and prints the paper's value beside ours.
  *
- * Parallel sweep: the doubled-DMC baseline of each (benchmark,
- * geometry) row is simulated once and reused across the three
- * value-count sections; the FVC runs fan out per section. Traces
- * come from the shared TraceRepository.
+ * All cells go through resultcache::runCells: the doubled-DMC
+ * baseline of each (benchmark, geometry) row is simulated once and
+ * reused across the three value-count sections, warm fingerprints
+ * are served from the persistent result store without touching the
+ * engine, and novel cells dispatch to the fabric / single-pass /
+ * per-cell backends. Traces come from the shared TraceRepository.
  */
 
 #include <cstdio>
 
 #include "core/size_model.hh"
-#include "fabric/fabric.hh"
+#include "fabric/cell.hh"
 #include "harness/paper_data.hh"
-#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
-#include "sim/multi_config.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -58,171 +58,55 @@ main()
         workload::SpecInt::M88ksim124, workload::SpecInt::Perl134};
     const std::vector<unsigned> code_bit_sections = {3u, 2u, 1u};
 
-    // Renderers consume two flat vectors: doubled-DMC baselines in
-    // (benchmark, geometry) order and DMC+FVC rates in (section,
-    // benchmark, geometry) order.
-    std::vector<std::optional<double>> doubled_rates;
-    std::vector<std::optional<double>> fvc_rates;
-    if (fabric::configuredWorkers()) {
-        // Process backend (FVC_WORKERS): the same cells as the
-        // per-cell path below, submitted in the same flat orders,
-        // so the rendered figure is byte-identical to a serial run
-        // for every worker count, crash schedule, or resume point.
-        fabric::FabricRunner runner;
+    // One flat cell list through the result repository: doubled-DMC
+    // baselines in (benchmark, geometry) order, then DMC+FVC cells
+    // in (section, benchmark, geometry) order. The repository
+    // serves warm fingerprints from the persistent store and
+    // dispatches only novel cells — fabric, single-pass, or
+    // per-cell, all byte-identical.
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        for (const auto &row : kRows) {
+            fabric::CellSpec cell;
+            cell.bench = bench;
+            cell.accesses = accesses;
+            cell.seed = 23;
+            cell.dmc.size_bytes = row.bigger_kb * 1024;
+            cell.dmc.line_bytes = row.line_words * 4;
+            specs.push_back(cell);
+        }
+    }
+    const size_t doubled_count = specs.size();
+    for (unsigned code_bits : code_bit_sections) {
         for (auto bench : benches) {
             for (const auto &row : kRows) {
                 fabric::CellSpec cell;
                 cell.bench = bench;
                 cell.accesses = accesses;
                 cell.seed = 23;
-                cell.dmc.size_bytes = row.bigger_kb * 1024;
+                cell.dmc.size_bytes = row.dmc_kb * 1024;
                 cell.dmc.line_bytes = row.line_words * 4;
-                runner.submit(cell);
+                cell.fvc.entries = 512;
+                cell.fvc.line_bytes = cell.dmc.line_bytes;
+                cell.fvc.code_bits = code_bits;
+                cell.has_fvc = true;
+                specs.push_back(cell);
             }
         }
-        for (unsigned code_bits : code_bit_sections) {
-            for (auto bench : benches) {
-                for (const auto &row : kRows) {
-                    fabric::CellSpec cell;
-                    cell.bench = bench;
-                    cell.accesses = accesses;
-                    cell.seed = 23;
-                    cell.dmc.size_bytes = row.dmc_kb * 1024;
-                    cell.dmc.line_bytes = row.line_words * 4;
-                    cell.fvc.entries = 512;
-                    cell.fvc.line_bytes = cell.dmc.line_bytes;
-                    cell.fvc.code_bits = code_bits;
-                    cell.has_fvc = true;
-                    runner.submit(cell);
-                }
-            }
-        }
-        const size_t total = runner.pending();
-        const size_t doubled_count = benches.size() * kRows.size();
-        fabric::FabricOutcome outcome = runner.run();
-        if (!outcome.failures.empty()) {
-            harness::reportSweepFailures(
-                fabric::toJobFailures(outcome), total,
-                "Figure 13 fabric sweep");
-        }
-        for (size_t i = 0; i < total; ++i) {
-            std::optional<double> rate;
-            if (outcome.results[i]) {
-                rate =
-                    outcome.results[i]->cache.missRatePercent();
-            }
-            if (i < doubled_count)
-                doubled_rates.push_back(rate);
-            else
-                fvc_rates.push_back(rate);
-        }
-    } else if (sim::singlePassEnabled()) {
-        // One job per benchmark: cells 0..6 are the doubled DMCs
-        // (kRows order), then 7 per code-bits section. The flat
-        // vectors are re-assembled from the per-benchmark groups
-        // because fvc_rates is section-major, not benchmark-major.
-        harness::SweepRunner<std::vector<double>> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, code_bit_sections, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 23);
-                sim::MultiConfigSimulator engine(
-                    trace->columns, trace->initial_image,
-                    trace->frequent_values);
-                for (const auto &row : kRows) {
-                    cache::CacheConfig big;
-                    big.size_bytes = row.bigger_kb * 1024;
-                    big.line_bytes = row.line_words * 4;
-                    engine.addDmc(big);
-                }
-                for (unsigned code_bits : code_bit_sections) {
-                    for (const auto &row : kRows) {
-                        cache::CacheConfig small;
-                        small.size_bytes = row.dmc_kb * 1024;
-                        small.line_bytes = row.line_words * 4;
-                        core::FvcConfig fvc;
-                        fvc.entries = 512;
-                        fvc.line_bytes = small.line_bytes;
-                        fvc.code_bits = code_bits;
-                        engine.addDmcFvc(small, fvc);
-                    }
-                }
-                engine.run();
-                std::vector<double> out;
-                for (size_t c = 0; c < engine.cellCount(); ++c)
-                    out.push_back(engine.missRatePercent(c));
-                return out;
-            });
-        }
-        auto groups =
-            harness::runDegraded(sweep, "Figure 13 single-pass runs");
+    }
+    auto results =
+        resultcache::runCells(specs, "Figure 13 sweep");
 
-        const size_t rows = kRows.size();
-        const size_t sections = code_bit_sections.size();
-        doubled_rates.resize(benches.size() * rows);
-        fvc_rates.resize(sections * benches.size() * rows);
-        for (size_t b = 0; b < benches.size(); ++b) {
-            for (size_t r = 0; r < rows; ++r) {
-                doubled_rates[b * rows + r] =
-                    groups[b] ? std::optional((*groups[b])[r])
-                              : std::nullopt;
-                for (size_t s = 0; s < sections; ++s) {
-                    fvc_rates[(s * benches.size() + b) * rows + r] =
-                        groups[b]
-                            ? std::optional(
-                                  (*groups[b])[rows * (1 + s) + r])
-                            : std::nullopt;
-                }
-            }
-        }
-    } else {
-        // Doubled-DMC baselines: one job per (benchmark, geometry),
-        // shared by all three value-count sections.
-        harness::SweepRunner<double> doubled_sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            for (const auto &row : kRows) {
-                doubled_sweep.submit([profile, row, accesses] {
-                    auto trace =
-                        harness::sharedTrace(profile, accesses, 23);
-                    cache::CacheConfig big;
-                    big.size_bytes = row.bigger_kb * 1024;
-                    big.line_bytes = row.line_words * 4;
-                    return harness::dmcMissRate(*trace, big);
-                });
-            }
-        }
-
-        // DMC+FVC runs: one job per (section, benchmark, geometry).
-        harness::SweepRunner<double> fvc_sweep;
-        for (unsigned code_bits : code_bit_sections) {
-            for (auto bench : benches) {
-                auto profile = workload::specIntProfile(bench);
-                for (const auto &row : kRows) {
-                    fvc_sweep.submit(
-                        [profile, row, code_bits, accesses] {
-                            auto trace = harness::sharedTrace(
-                                profile, accesses, 23);
-                            cache::CacheConfig small;
-                            small.size_bytes = row.dmc_kb * 1024;
-                            small.line_bytes = row.line_words * 4;
-                            core::FvcConfig fvc;
-                            fvc.entries = 512;
-                            fvc.line_bytes = small.line_bytes;
-                            fvc.code_bits = code_bits;
-                            auto sys = harness::runDmcFvc(
-                                *trace, small, fvc);
-                            return sys->stats().missRatePercent();
-                        });
-                }
-            }
-        }
-
-        doubled_rates = harness::runDegraded(
-            doubled_sweep, "Figure 13 2x-DMC runs");
-        fvc_rates = harness::runDegraded(
-            fvc_sweep, "Figure 13 DMC+FVC runs");
+    std::vector<std::optional<double>> doubled_rates;
+    std::vector<std::optional<double>> fvc_rates;
+    for (size_t i = 0; i < results.size(); ++i) {
+        std::optional<double> rate;
+        if (results[i])
+            rate = results[i]->cache.missRatePercent();
+        if (i < doubled_count)
+            doubled_rates.push_back(rate);
+        else
+            fvc_rates.push_back(rate);
     }
 
     size_t fvc_job = 0;

@@ -8,18 +8,17 @@
  * removing, so the FVC's benefit collapses; for the
  * capacity-dominated ones (go, gcc, vortex) the benefit survives.
  *
- * Parallel sweep: one job per (benchmark, associativity) pair; each
- * job runs the bare DMC and the DMC+FVC against the benchmark's
- * shared trace.
+ * Two cells per (benchmark, associativity) pair — bare DMC and
+ * DMC+FVC — resolved through resultcache::runCells against each
+ * benchmark's shared trace.
  */
 
 #include <cstdio>
 
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
-#include "sim/multi_config.hh"
+#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -45,73 +44,37 @@ main()
         double with_fvc;
     };
     const auto benches = workload::fvSpecInt();
+    std::vector<fabric::CellSpec> specs;
+    for (auto bench : benches) {
+        for (uint32_t assoc : assocs) {
+            fabric::CellSpec base;
+            base.bench = bench;
+            base.accesses = accesses;
+            base.seed = 29;
+            base.dmc.size_bytes = 16 * 1024;
+            base.dmc.line_bytes = 32;
+            base.dmc.assoc = assoc;
+            specs.push_back(base);
+            fabric::CellSpec with = base;
+            with.fvc.entries = 512;
+            with.fvc.line_bytes = base.dmc.line_bytes;
+            with.fvc.code_bits = 3;
+            with.has_fvc = true;
+            specs.push_back(with);
+        }
+    }
+    auto results = resultcache::runCells(specs, "Figure 14 sweep");
+
     std::vector<std::optional<Cell>> cells;
-    if (sim::singlePassEnabled()) {
-        // One job per benchmark: all three associativities, bare
-        // and with FVC, in one replay of the shared trace.
-        harness::SweepRunner<std::vector<Cell>> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            sweep.submit([profile, assocs, accesses] {
-                auto trace =
-                    harness::sharedTrace(profile, accesses, 29);
-                sim::MultiConfigSimulator engine(
-                    trace->columns, trace->initial_image,
-                    trace->frequent_values);
-                for (uint32_t assoc : assocs) {
-                    cache::CacheConfig dmc;
-                    dmc.size_bytes = 16 * 1024;
-                    dmc.line_bytes = 32;
-                    dmc.assoc = assoc;
-                    engine.addDmc(dmc);
-                    core::FvcConfig fvc;
-                    fvc.entries = 512;
-                    fvc.line_bytes = dmc.line_bytes;
-                    fvc.code_bits = 3;
-                    engine.addDmcFvc(dmc, fvc);
-                }
-                engine.run();
-                std::vector<Cell> out;
-                for (size_t a = 0; a < assocs.size(); ++a) {
-                    Cell cell;
-                    cell.base = engine.missRatePercent(2 * a);
-                    cell.with_fvc =
-                        engine.missRatePercent(2 * a + 1);
-                    out.push_back(cell);
-                }
-                return out;
-            });
+    for (size_t i = 0; i < results.size(); i += 2) {
+        if (!results[i] || !results[i + 1]) {
+            cells.push_back(std::nullopt);
+            continue;
         }
-        cells = harness::expandGrouped(
-            harness::runDegraded(sweep, "Figure 14 sweep"),
-            assocs.size());
-    } else {
-        harness::SweepRunner<Cell> sweep;
-        for (auto bench : benches) {
-            auto profile = workload::specIntProfile(bench);
-            for (uint32_t assoc : assocs) {
-                sweep.submit([profile, assoc, accesses] {
-                    auto trace =
-                        harness::sharedTrace(profile, accesses, 29);
-                    cache::CacheConfig dmc;
-                    dmc.size_bytes = 16 * 1024;
-                    dmc.line_bytes = 32;
-                    dmc.assoc = assoc;
-
-                    Cell cell;
-                    cell.base = harness::dmcMissRate(*trace, dmc);
-
-                    core::FvcConfig fvc;
-                    fvc.entries = 512;
-                    fvc.line_bytes = dmc.line_bytes;
-                    fvc.code_bits = 3;
-                    auto sys = harness::runDmcFvc(*trace, dmc, fvc);
-                    cell.with_fvc = sys->stats().missRatePercent();
-                    return cell;
-                });
-            }
-        }
-        cells = harness::runDegraded(sweep, "Figure 14 sweep");
+        Cell cell;
+        cell.base = results[i]->cache.missRatePercent();
+        cell.with_fvc = results[i + 1]->cache.missRatePercent();
+        cells.push_back(cell);
     }
 
     util::Table table({"benchmark", "assoc", "miss % (no FVC)",

@@ -5,18 +5,19 @@
  * VC vs a 128-entry FVC; (b) equal access time — a 4-entry VC
  * (~9ns) vs a 512-entry FVC (~6ns).
  *
- * Parallel sweep: one job per (pairing, benchmark); both pairings
- * replay the same shared per-benchmark trace.
+ * Three cells per (pairing, benchmark) — bare DMC, DMC+VC, DMC+FVC
+ * — resolved through resultcache::runCells. The bare-DMC cell is
+ * identical across both pairings, so the repository simulates it
+ * once and serves the duplicate from the in-process dedup map.
  */
 
 #include <cstdio>
 
-#include "cache/victim_cache.hh"
 #include "core/size_model.hh"
-#include "harness/parallel.hh"
+#include "fabric/cell.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "harness/trace_repo.hh"
+#include "resultcache/repository.hh"
 #include "timing/access_time.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -33,7 +34,7 @@ struct Cell
 };
 
 void
-submitComparison(harness::SweepRunner<Cell> &sweep,
+submitComparison(std::vector<fabric::CellSpec> &specs,
                  uint32_t vc_entries, uint32_t fvc_entries,
                  uint64_t accesses)
 {
@@ -41,24 +42,22 @@ submitComparison(harness::SweepRunner<Cell> &sweep,
     dmc.size_bytes = 4 * 1024;
     dmc.line_bytes = 32;
 
-    core::FvcConfig fvc;
-    fvc.entries = fvc_entries;
-    fvc.line_bytes = 32;
-    fvc.code_bits = 3;
-
     for (auto bench : workload::fvSpecInt()) {
-        auto profile = workload::specIntProfile(bench);
-        sweep.submit([profile, dmc, fvc, vc_entries, accesses] {
-            auto trace = harness::sharedTrace(profile, accesses, 73);
-            Cell cell;
-            cell.base = harness::dmcMissRate(*trace, dmc);
-            cache::DmcVictimSystem vc_sys(dmc, vc_entries);
-            harness::replayFast(*trace, vc_sys);
-            cell.vc_miss = vc_sys.stats().missRatePercent();
-            auto fvc_sys = harness::runDmcFvc(*trace, dmc, fvc);
-            cell.fvc_miss = fvc_sys->stats().missRatePercent();
-            return cell;
-        });
+        fabric::CellSpec base;
+        base.bench = bench;
+        base.accesses = accesses;
+        base.seed = 73;
+        base.dmc = dmc;
+        specs.push_back(base);
+        fabric::CellSpec vc = base;
+        vc.victim_entries = vc_entries;
+        specs.push_back(vc);
+        fabric::CellSpec fvc = base;
+        fvc.fvc.entries = fvc_entries;
+        fvc.fvc.line_bytes = 32;
+        fvc.fvc.code_bits = 3;
+        fvc.has_fvc = true;
+        specs.push_back(fvc);
     }
 }
 
@@ -131,10 +130,23 @@ main()
 
     const uint64_t accesses = harness::defaultTraceAccesses();
 
-    harness::SweepRunner<Cell> sweep;
-    submitComparison(sweep, 16, 128, accesses);
-    submitComparison(sweep, 4, 512, accesses);
-    auto cells = harness::runDegraded(sweep, "Figure 15 sweep");
+    std::vector<fabric::CellSpec> specs;
+    submitComparison(specs, 16, 128, accesses);
+    submitComparison(specs, 4, 512, accesses);
+    auto results = resultcache::runCells(specs, "Figure 15 sweep");
+
+    std::vector<std::optional<Cell>> cells;
+    for (size_t i = 0; i < results.size(); i += 3) {
+        if (!results[i] || !results[i + 1] || !results[i + 2]) {
+            cells.push_back(std::nullopt);
+            continue;
+        }
+        Cell cell;
+        cell.base = results[i]->cache.missRatePercent();
+        cell.vc_miss = results[i + 1]->cache.missRatePercent();
+        cell.fvc_miss = results[i + 2]->cache.missRatePercent();
+        cells.push_back(cell);
+    }
 
     size_t job = 0;
     printComparison(

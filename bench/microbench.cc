@@ -15,6 +15,7 @@
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
 #include "profiling/value_table.hh"
+#include "resultcache/repository.hh"
 #include "sim/batch_encoder.hh"
 #include "sim/lane_kernel.hh"
 #include "sim/lane_state.hh"
@@ -497,6 +498,14 @@ main(int argc, char **argv)
     // a phantom regression; compare_bench.py refuses the pair.
     benchmark::AddCustomContext("fvc_trace_store",
                                 fvc::harness::traceStoreStateName());
+    // Whether a persistent result cache can serve sweep cells:
+    // "off", "cold", or "warm". A warm result cache skips the
+    // replay engine for every known cell, so comparing a warm run
+    // against a cold one would report a phantom speedup;
+    // compare_bench.py refuses the pair.
+    benchmark::AddCustomContext(
+        "fvc_result_cache",
+        fvc::resultcache::resultCacheStateName());
     // The ISA the lane kernel dispatches on this machine ("off"
     // when FVC_SIMD=off). Sweep timings move with the vector width,
     // so compare_bench.py refuses to diff runs recorded under

@@ -15,6 +15,11 @@
 #
 # Usage: bench/run_bench.sh [build-dir] [extra benchmark args...]
 # Env:   FVC_BENCH_MIN_TIME  per-benchmark min time (default 0.3)
+#        FVC_BENCH_PREWARM   set to 1 to pre-warm the result cache
+#                            (cold+warm fig13 through
+#                            check_result_cache.py, proving the
+#                            >= 20x warm serve in the same
+#                            optimized tree before recording)
 set -eu
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -34,6 +39,18 @@ bin="$build_dir/bench/microbench"
 if [ ! -x "$bin" ]; then
     echo "error: $bin not built (cmake --build $build_dir)" >&2
     exit 1
+fi
+
+# Optional pre-warm: run the result-cache gate against this
+# optimized tree. It builds fig13, walks a private store cold then
+# warm, and fails loudly unless the warm serve is >= 20x faster
+# with byte-identical output — the Release-tree proof
+# bench_result_cache_gate relies on.
+if [ "${FVC_BENCH_PREWARM:-0}" = "1" ]; then
+    cmake --build "$build_dir" --target fig13_dmc_vs_fvc \
+        -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
+    python3 "$repo_root/bench/check_result_cache.py" \
+        --build-dir "$build_dir"
 fi
 
 out="$repo_root/BENCH_microbench.json"

@@ -1,6 +1,8 @@
 #include "fabric/cell.hh"
 
 #include "cache/cache_system.hh"
+#include "cache/two_level.hh"
+#include "cache/victim_cache.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
 #include "workload/fingerprint.hh"
@@ -22,7 +24,7 @@ mix64(uint64_t z)
 harness::TraceKey
 traceKey(const CellSpec &cell)
 {
-    auto profile = workload::specIntProfile(cell.bench, cell.input);
+    auto profile = cellProfile(cell);
     harness::TraceKey key;
     key.profile = profile.name;
     key.profile_hash = workload::profileFingerprint(profile);
@@ -35,13 +37,27 @@ traceKey(const CellSpec &cell)
 
 } // namespace
 
+workload::BenchmarkProfile
+cellProfile(const CellSpec &cell)
+{
+    if (!cell.fp_name.empty())
+        return workload::specFpProfile(cell.fp_name);
+    return workload::specIntProfile(cell.bench, cell.input);
+}
+
 std::string
 CellSpec::describe() const
 {
-    std::string out =
-        workload::specIntName(bench) + " " + dmc.describe();
+    std::string out = fp_name.empty() ? workload::specIntName(bench)
+                                      : fp_name;
+    out += " " + dmc.describe();
     if (has_fvc)
         out += " + " + fvc.describe();
+    if (victim_entries)
+        out += " + " + std::to_string(victim_entries) +
+               "-entry VC";
+    if (has_l2)
+        out += " + L2 " + l2.describe();
     return out;
 }
 
@@ -72,6 +88,19 @@ cellFingerprint(const CellSpec &cell)
                   (cell.policy.write_allocate_frequent ? 4u : 0u));
         h = mix64(h ^ cell.policy.occupancy_sample_interval);
     }
+    // New cell kinds mix only when active, so fingerprints of
+    // plain DMC / DMC+FVC cells (already on disk in checkpoints)
+    // are unchanged by their introduction.
+    if (cell.victim_entries)
+        h = mix64(h ^ (0x5643ull << 32) ^ cell.victim_entries);
+    if (cell.has_l2) {
+        h = mix64(h ^ (0x4c32ull << 32));
+        h = mix64(h ^ cell.l2.size_bytes);
+        h = mix64(h ^ cell.l2.line_bytes);
+        h = mix64(h ^ cell.l2.assoc);
+        h = mix64(h ^ static_cast<uint64_t>(cell.l2.replacement));
+        h = mix64(h ^ static_cast<uint64_t>(cell.l2.write_policy));
+    }
     return h;
 }
 
@@ -87,10 +116,31 @@ sweepHash(const std::vector<CellSpec> &cells)
 CellStats
 simulateCell(const CellSpec &cell)
 {
-    auto profile = workload::specIntProfile(cell.bench, cell.input);
+    fvc_assert(!(cell.has_fvc &&
+                 (cell.victim_entries || cell.has_l2)) &&
+                   !(cell.victim_entries && cell.has_l2),
+               "cell mixes exclusive system kinds: ",
+               cell.describe());
+    auto profile = cellProfile(cell);
     auto trace = harness::sharedTrace(profile, cell.accesses,
                                       cell.seed, cell.top_k);
     CellStats stats;
+    if (cell.victim_entries) {
+        cache::DmcVictimSystem system(cell.dmc,
+                                      cell.victim_entries);
+        harness::replayFast(*trace, system);
+        stats.cache = system.stats();
+        return stats;
+    }
+    if (cell.has_l2) {
+        // TwoLevelSystem is not final, so the devirtualized
+        // replayFast is off-limits; the virtual replay produces
+        // identical counters.
+        cache::TwoLevelSystem system(cell.dmc, cell.l2);
+        harness::replay(*trace, system);
+        stats.cache = system.stats();
+        return stats;
+    }
     if (!cell.has_fvc) {
         cache::DmcSystem system(cell.dmc);
         harness::replayFast(*trace, system);

@@ -34,6 +34,9 @@ struct CellSpec
 {
     workload::SpecInt bench = workload::SpecInt::Go099;
     workload::InputSet input = workload::InputSet::Ref;
+    /** SPECfp profile name; when non-empty it selects the modelled
+     * FP workload instead of (bench, input). */
+    std::string fp_name;
     /** Trace parameters (TraceKey fields). */
     uint64_t accesses = 0;
     uint64_t seed = 1;
@@ -44,10 +47,20 @@ struct CellSpec
     core::FvcConfig fvc;
     bool has_fvc = false;
     core::DmcFvcPolicy policy;
+    /** Victim-cache entries behind the DMC (Figure 15); 0 = none.
+     * Mutually exclusive with has_fvc and has_l2. */
+    uint32_t victim_entries = 0;
+    /** L2 geometry behind the DMC; ignored when !has_l2. Mutually
+     * exclusive with has_fvc and victim_entries. */
+    cache::CacheConfig l2;
+    bool has_l2 = false;
 
     /** e.g. "124.m88ksim 16Kb/32B/1-way + 512-entry FVC". */
     std::string describe() const;
 };
+
+/** The workload profile a cell replays (SPECint or SPECfp). */
+workload::BenchmarkProfile cellProfile(const CellSpec &cell);
 
 /**
  * Content fingerprint of one cell: profile content hash + trace

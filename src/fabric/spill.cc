@@ -1,14 +1,8 @@
 #include "fabric/spill.hh"
 
-#include <cerrno>
-#include <cstring>
 #include <unordered_map>
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include "util/bitops.hh"
-#include "util/mmap_file.hh"
+#include "util/framed.hh"
 
 namespace fvc::fabric {
 
@@ -18,58 +12,10 @@ constexpr uint32_t kFrameMagic = 0x46565350; // "FVSP"
 constexpr uint32_t kKindHeader = 1;
 constexpr uint32_t kKindRecord = 2;
 
-// Frame layout: magic u32 | kind u32 | payload_len u32 |
-// crc32(payload) u32 | payload bytes.
-constexpr size_t kFrameHeadBytes = 16;
-
-void
-put32(std::vector<uint8_t> &out, uint32_t v)
-{
-    out.insert(out.end(),
-               {static_cast<uint8_t>(v),
-                static_cast<uint8_t>(v >> 8),
-                static_cast<uint8_t>(v >> 16),
-                static_cast<uint8_t>(v >> 24)});
-}
-
-void
-put64(std::vector<uint8_t> &out, uint64_t v)
-{
-    put32(out, static_cast<uint32_t>(v));
-    put32(out, static_cast<uint32_t>(v >> 32));
-}
-
-uint32_t
-get32(const uint8_t *p)
-{
-    return static_cast<uint32_t>(p[0]) |
-           (static_cast<uint32_t>(p[1]) << 8) |
-           (static_cast<uint32_t>(p[2]) << 16) |
-           (static_cast<uint32_t>(p[3]) << 24);
-}
-
-uint64_t
-get64(const uint8_t *p)
-{
-    return static_cast<uint64_t>(get32(p)) |
-           (static_cast<uint64_t>(get32(p + 4)) << 32);
-}
-
-uint64_t
-doubleBits(double value)
-{
-    uint64_t bits;
-    std::memcpy(&bits, &value, sizeof(bits));
-    return bits;
-}
-
-double
-bitsDouble(uint64_t bits)
-{
-    double value;
-    std::memcpy(&value, &bits, sizeof(value));
-    return value;
-}
+using util::get32;
+using util::get64;
+using util::put32;
+using util::put64;
 
 // Record payload: cell_index u32 | attempts u32 | fingerprint u64 |
 // run_id u64 | worker_pid u32 | reserved u32 | 8 CacheStats u64 |
@@ -111,13 +57,45 @@ decodeRecordPayload(const uint8_t *p)
     r.fingerprint = get64(p + 8);
     r.run_id = get64(p + 16);
     r.worker_pid = get32(p + 24);
-    const uint8_t *q = p + 32;
-    auto next = [&q] {
-        uint64_t v = get64(q);
-        q += 8;
+    decodeCellStats(p + 32, r.stats);
+    return r;
+}
+
+} // namespace
+
+void
+encodeCellStats(std::vector<uint8_t> &out, const CellStats &stats)
+{
+    const auto &c = stats.cache;
+    put64(out, c.read_hits);
+    put64(out, c.read_misses);
+    put64(out, c.write_hits);
+    put64(out, c.write_misses);
+    put64(out, c.fills);
+    put64(out, c.writebacks);
+    put64(out, c.fetch_bytes);
+    put64(out, c.writeback_bytes);
+    const auto &f = stats.fvc;
+    put64(out, f.fvc_read_hits);
+    put64(out, f.fvc_write_hits);
+    put64(out, f.partial_misses);
+    put64(out, f.write_allocations);
+    put64(out, f.insertions);
+    put64(out, f.insertions_skipped);
+    put64(out, f.fvc_writebacks);
+    put64(out, util::doubleBits(f.occupancy_sum));
+    put64(out, f.occupancy_samples);
+}
+
+const uint8_t *
+decodeCellStats(const uint8_t *p, CellStats &stats)
+{
+    auto next = [&p] {
+        uint64_t v = get64(p);
+        p += 8;
         return v;
     };
-    auto &c = r.stats.cache;
+    auto &c = stats.cache;
     c.read_hits = next();
     c.read_misses = next();
     c.write_hits = next();
@@ -126,7 +104,7 @@ decodeRecordPayload(const uint8_t *p)
     c.writebacks = next();
     c.fetch_bytes = next();
     c.writeback_bytes = next();
-    auto &f = r.stats.fvc;
+    auto &f = stats.fvc;
     f.fvc_read_hits = next();
     f.fvc_write_hits = next();
     f.partial_misses = next();
@@ -134,32 +112,10 @@ decodeRecordPayload(const uint8_t *p)
     f.insertions = next();
     f.insertions_skipped = next();
     f.fvc_writebacks = next();
-    f.occupancy_sum = bitsDouble(next());
+    f.occupancy_sum = util::bitsDouble(next());
     f.occupancy_samples = next();
-    return r;
+    return p;
 }
-
-std::vector<uint8_t>
-frameBytes(uint32_t kind, const std::vector<uint8_t> &payload,
-           std::optional<uint32_t> corrupt_payload_bit)
-{
-    std::vector<uint8_t> out;
-    out.reserve(kFrameHeadBytes + payload.size());
-    put32(out, kFrameMagic);
-    put32(out, kind);
-    put32(out, static_cast<uint32_t>(payload.size()));
-    put32(out, util::crc32(payload.data(), payload.size()));
-    out.insert(out.end(), payload.begin(), payload.end());
-    if (corrupt_payload_bit) {
-        size_t bit = *corrupt_payload_bit %
-                     (payload.size() * 8);
-        out[kFrameHeadBytes + bit / 8] ^=
-            static_cast<uint8_t>(1u << (bit % 8));
-    }
-    return out;
-}
-
-} // namespace
 
 bool
 CellStats::identical(const CellStats &other) const
@@ -185,25 +141,7 @@ encodeRecordPayload(const SpillRecord &record)
     put64(out, record.run_id);
     put32(out, record.worker_pid);
     put32(out, 0); // reserved
-    const auto &c = record.stats.cache;
-    put64(out, c.read_hits);
-    put64(out, c.read_misses);
-    put64(out, c.write_hits);
-    put64(out, c.write_misses);
-    put64(out, c.fills);
-    put64(out, c.writebacks);
-    put64(out, c.fetch_bytes);
-    put64(out, c.writeback_bytes);
-    const auto &f = record.stats.fvc;
-    put64(out, f.fvc_read_hits);
-    put64(out, f.fvc_write_hits);
-    put64(out, f.partial_misses);
-    put64(out, f.write_allocations);
-    put64(out, f.insertions);
-    put64(out, f.insertions_skipped);
-    put64(out, f.fvc_writebacks);
-    put64(out, doubleBits(f.occupancy_sum));
-    put64(out, f.occupancy_samples);
+    encodeCellStats(out, record.stats);
     fvc_assert(out.size() == kRecordPayloadBytes,
                "spill record payload size drifted");
     return out;
@@ -213,51 +151,20 @@ util::Expected<SpillWriter>
 SpillWriter::open(const std::string &path,
                   const SpillHeader &header)
 {
-    int fd = ::open(path.c_str(),
-                    O_WRONLY | O_CREAT | O_APPEND, 0644);
-    if (fd < 0) {
-        return util::Error{util::ErrorCode::Io,
-                           std::string("open failed: ") +
-                               std::strerror(errno),
-                           path};
-    }
+    auto appender = util::FramedAppender::open(path, kFrameMagic);
+    if (!appender.ok())
+        return appender.error();
     SpillWriter writer;
-    writer.fd_ = fd;
-    writer.path_ = path;
-    std::vector<uint8_t> frame =
-        frameBytes(kKindHeader, encodeHeaderPayload(header),
-                   std::nullopt);
-    if (::write(fd, frame.data(), frame.size()) !=
-        static_cast<ssize_t>(frame.size())) {
-        return util::Error{util::ErrorCode::Io,
-                           std::string("header write failed: ") +
-                               std::strerror(errno),
-                           path};
+    writer.appender_ = std::move(appender.value());
+    // The header frame is not fsync'd on its own: it becomes
+    // durable with the first record, and a spill holding only a
+    // header holds no results worth preserving.
+    if (auto err = writer.appender_.append(
+            kKindHeader, encodeHeaderPayload(header),
+            /*sync=*/false)) {
+        return *err;
     }
     return writer;
-}
-
-SpillWriter::~SpillWriter()
-{
-    close();
-}
-
-SpillWriter::SpillWriter(SpillWriter &&other) noexcept
-    : fd_(other.fd_), path_(std::move(other.path_))
-{
-    other.fd_ = -1;
-}
-
-SpillWriter &
-SpillWriter::operator=(SpillWriter &&other) noexcept
-{
-    if (this != &other) {
-        close();
-        fd_ = other.fd_;
-        path_ = std::move(other.path_);
-        other.fd_ = -1;
-    }
-    return *this;
 }
 
 std::optional<util::Error>
@@ -265,80 +172,31 @@ SpillWriter::append(const SpillRecord &record,
                     std::optional<uint32_t> corrupt_payload_bit)
 {
     fvc_assert(valid(), "append on closed SpillWriter");
-    std::vector<uint8_t> frame =
-        frameBytes(kKindRecord, encodeRecordPayload(record),
-                   corrupt_payload_bit);
-    if (::write(fd_, frame.data(), frame.size()) !=
-        static_cast<ssize_t>(frame.size())) {
-        return util::Error{util::ErrorCode::Io,
-                           std::string("record write failed: ") +
-                               std::strerror(errno),
-                           path_};
-    }
     // One fsync per record: a cell marked Done in the queue must
     // imply a durable record, or a crash after markDone could lose
     // a result the checkpoint claims to have.
-    if (::fsync(fd_) != 0) {
-        return util::Error{util::ErrorCode::Io,
-                           std::string("fsync failed: ") +
-                               std::strerror(errno),
-                           path_};
-    }
-    return std::nullopt;
-}
-
-void
-SpillWriter::close()
-{
-    if (fd_ >= 0) {
-        ::close(fd_);
-        fd_ = -1;
-    }
+    return appender_.append(kKindRecord,
+                            encodeRecordPayload(record),
+                            /*sync=*/true, corrupt_payload_bit);
 }
 
 util::Expected<SpillContents>
 readSpillFile(const std::string &path)
 {
-    auto mapped = util::MappedFile::open(path);
-    if (!mapped.ok())
-        return mapped.error();
-    const uint8_t *data = mapped.value().data();
-    const size_t size = mapped.value().size();
+    auto framed = util::readFramedFile(path, kFrameMagic);
+    if (!framed.ok())
+        return framed.error();
 
     SpillContents contents;
-    size_t pos = 0;
-    while (pos < size) {
-        if (size - pos < kFrameHeadBytes) {
-            contents.truncated_tail = true;
-            break;
-        }
-        const uint8_t *head = data + pos;
-        uint32_t magic = get32(head);
-        uint32_t kind = get32(head + 4);
-        uint32_t len = get32(head + 8);
-        uint32_t crc = get32(head + 12);
-        if (magic != kFrameMagic || len > (1u << 20)) {
-            // Unframed garbage: no way to find the next frame
-            // boundary, so everything from here on is lost.
-            ++contents.rejected_frames;
-            break;
-        }
-        if (size - pos - kFrameHeadBytes < len) {
-            // Valid head whose payload runs past EOF: the classic
-            // crash-mid-append torn tail, not corruption.
-            contents.truncated_tail = true;
-            break;
-        }
-        const uint8_t *payload = head + kFrameHeadBytes;
-        pos += kFrameHeadBytes + len;
-        if (util::crc32(payload, len) != crc) {
-            ++contents.rejected_frames;
-            continue; // frame boundary intact; skip just this one
-        }
-        if (kind == kKindHeader && len == kHeaderPayloadBytes) {
+    contents.rejected_frames = framed.value().rejected_frames;
+    contents.truncated_tail = framed.value().truncated_tail;
+    for (const auto &frame : framed.value().frames) {
+        const uint8_t *payload = frame.payload.data();
+        if (frame.kind == kKindHeader &&
+            frame.payload.size() == kHeaderPayloadBytes) {
             contents.header = decodeHeaderPayload(payload);
-        } else if (kind == kKindRecord &&
-                   len == kRecordPayloadBytes) {
+        } else if (frame.kind == kKindRecord &&
+                   frame.payload.size() == kRecordPayloadBytes) {
             contents.records.push_back(
                 decodeRecordPayload(payload));
         } else {
@@ -368,43 +226,12 @@ mergeIntoCheckpoint(const std::string &path,
     for (const auto &record : records)
         add(record);
 
-    const std::string tmp =
-        path + ".tmp." + std::to_string(::getpid());
-    int fd =
-        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) {
-        return util::Error{util::ErrorCode::Io,
-                           std::string("open failed: ") +
-                               std::strerror(errno),
-                           tmp};
-    }
-    std::vector<uint8_t> bytes;
-    for (const auto &record : merged) {
-        std::vector<uint8_t> frame = frameBytes(
-            kKindRecord, encodeRecordPayload(record), std::nullopt);
-        bytes.insert(bytes.end(), frame.begin(), frame.end());
-    }
-    bool ok = bytes.empty() ||
-              ::write(fd, bytes.data(), bytes.size()) ==
-                  static_cast<ssize_t>(bytes.size());
-    ok = ok && ::fsync(fd) == 0;
-    ::close(fd);
-    if (!ok) {
-        ::unlink(tmp.c_str());
-        return util::Error{util::ErrorCode::Io,
-                           std::string("checkpoint write failed: ") +
-                               std::strerror(errno),
-                           tmp};
-    }
-    if (::rename(tmp.c_str(), path.c_str()) != 0) {
-        int err = errno;
-        ::unlink(tmp.c_str());
-        return util::Error{util::ErrorCode::Io,
-                           std::string("rename failed: ") +
-                               std::strerror(err),
-                           path};
-    }
-    return std::nullopt;
+    std::vector<util::Frame> frames;
+    frames.reserve(merged.size());
+    for (const auto &record : merged)
+        frames.push_back(
+            util::Frame{kKindRecord, encodeRecordPayload(record)});
+    return util::writeFramedFileAtomic(path, kFrameMagic, frames);
 }
 
 } // namespace fvc::fabric

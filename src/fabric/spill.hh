@@ -35,6 +35,7 @@
 #include "cache/stats.hh"
 #include "core/dmc_fvc_system.hh"
 #include "util/error.hh"
+#include "util/framed.hh"
 
 namespace fvc::fabric {
 
@@ -89,6 +90,19 @@ struct SpillContents
 /** Serialize one record's payload (used for byte-exact compares). */
 std::vector<uint8_t> encodeRecordPayload(const SpillRecord &record);
 
+/** Number of bytes encodeCellStats appends (17 u64 fields). */
+constexpr size_t kCellStatsBytes = 17 * 8;
+
+/** Append the canonical 17-u64 serialization of @p stats
+ * (occupancy_sum as its bit pattern) to @p out. Shared by the
+ * spill/checkpoint format and the persistent result cache so the
+ * two stores can never disagree about what a result *is*. */
+void encodeCellStats(std::vector<uint8_t> &out,
+                     const CellStats &stats);
+
+/** Decode kCellStatsBytes at @p p; returns the advanced cursor. */
+const uint8_t *decodeCellStats(const uint8_t *p, CellStats &stats);
+
 /**
  * Append-only spill writer. Each frame is written with a single
  * write(2) and fsync'd, so a record either exists completely and
@@ -102,14 +116,9 @@ class SpillWriter
     open(const std::string &path, const SpillHeader &header);
 
     SpillWriter() = default;
-    ~SpillWriter();
-    SpillWriter(SpillWriter &&other) noexcept;
-    SpillWriter &operator=(SpillWriter &&other) noexcept;
-    SpillWriter(const SpillWriter &) = delete;
-    SpillWriter &operator=(const SpillWriter &) = delete;
 
-    bool valid() const { return fd_ >= 0; }
-    const std::string &path() const { return path_; }
+    bool valid() const { return appender_.valid(); }
+    const std::string &path() const { return appender_.path(); }
 
     /**
      * Append one record frame. @p corrupt_payload_bit, when set,
@@ -122,11 +131,10 @@ class SpillWriter
                std::nullopt);
 
     /** Close the descriptor (destructor does this too). */
-    void close();
+    void close() { appender_.close(); }
 
   private:
-    int fd_ = -1;
-    std::string path_;
+    util::FramedAppender appender_;
 };
 
 /** Read every frame of @p path, tolerating a torn tail. */

@@ -78,7 +78,15 @@ systemEnergy(const core::DmcFvcSystem &system,
              const core::FvcConfig &fvc_config,
              const EnergyParams &p)
 {
-    const cache::CacheStats &stats = system.stats();
+    return systemEnergy(system.stats(), dmc_config, fvc_config, p);
+}
+
+EnergyBreakdown
+systemEnergy(const cache::CacheStats &stats,
+             const cache::CacheConfig &dmc_config,
+             const core::FvcConfig &fvc_config,
+             const EnergyParams &p)
+{
     EnergyBreakdown out;
     out.array_nj = static_cast<double>(stats.accesses()) *
                    (cacheAccessEnergy(dmc_config, p) +

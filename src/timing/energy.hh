@@ -77,6 +77,12 @@ EnergyBreakdown systemEnergy(const cache::CacheConfig &config,
  * parallel (the FVC probe is nearly free next to the DMC's), and
  * the reduced traffic crosses the bus.
  */
+EnergyBreakdown systemEnergy(const cache::CacheStats &stats,
+                             const cache::CacheConfig &dmc_config,
+                             const core::FvcConfig &fvc_config,
+                             const EnergyParams &p = defaultEnergy());
+
+/** Same, reading the stats from a live system. */
 EnergyBreakdown systemEnergy(const core::DmcFvcSystem &system,
                              const cache::CacheConfig &dmc_config,
                              const core::FvcConfig &fvc_config,

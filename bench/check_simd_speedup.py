@@ -15,13 +15,23 @@ reason to exist — a lane-group regression, a scalar loop that
 catches up — this gate fails and the kernel should be re-justified
 or removed.
 
-The default floor is 1.2x, deliberately below the measured 1.3-1.7x
-(single-core VM, run-to-run noise mostly on the scalar side): the
-gate exists to catch the kernel losing its advantage, not to flake
-on machine variance. The original 3x target proved unreachable on
-this workload — the replay is Amdahl-limited by the per-record
-scalar miss path both engines share (see EXPERIMENTS.md, "SIMD lane
-kernel" section, for the measured breakdown).
+The default floor is 1.2x, and that is a measured ceiling, not
+timidity: on the gate grid ~20% of lane-records take the in-order
+FVC-coupled miss path (every access to an FVC-resident line is a
+DMC tag miss the FVC serves, by protocol design), which with the
+per-block encode/shared work is roughly half the kernel's cycles —
+Amdahl caps it well short of 2x. A two-phase batched miss engine
+(hit loop defers misses to a per-lane queue, drained with vertical
+victim selection and gathered FVC probes) was built to break that
+ceiling and measured *slower* than the inline engine at both block
+and chunk drain granularity — a queue must also defer the same-set
+records behind each pending miss, which the inline walk's
+post-miss prediction repair instead retires in bulk; see
+EXPERIMENTS.md, "SIMD lane kernel" section, for the numbers. The floor sits at the bottom of the measured 1.2-1.7x
+band (the low end is hosts where the scalar loop runs unusually
+fast), and the gate judges the committed JSON — not a fresh run —
+so it catches the kernel losing its advantage without flaking on
+single-core VM variance.
 
 Runs as the bench_simd_speedup_gate ctest entry against the
 checked-in BENCH_microbench.json, so the committed perf trajectory
@@ -91,9 +101,9 @@ def self_test():
     ok = {LANE: 10.0, SCALAR: 40.0}
     assert check_speedup(ok, "avx512", 1.2) is None
 
-    slow = {LANE: 50.0, SCALAR: 50.0}
+    slow = {LANE: 40.0, SCALAR: 44.0}
     err = check_speedup(slow, "avx2", 1.2)
-    assert err is not None and "1.0x" in err, err
+    assert err is not None and "1.1x" in err, err
 
     missing = {SCALAR: 40.0}
     err = check_speedup(missing, "avx512", 1.2)

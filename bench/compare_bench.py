@@ -171,6 +171,89 @@ def check_store_states(base_state, new_state):
     )
 
 
+def load_governor(path):
+    """The fvc_cpu_governor context of a result file.
+
+    Files recorded before the context existed count as "unknown", as
+    do hosts without cpufreq (containers, some VMs).
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("fvc_cpu_governor", "unknown")
+
+
+def check_governors(base_gov, new_gov):
+    """Warning string when both runs' scaling governors are known
+    and differ, else None.
+
+    A governor switch (say performance -> powersave) moves the clock
+    under every benchmark, so a diff across one mostly measures the
+    frequency policy. Unlike the refusal checks above this only
+    warns: "unknown" is common (pre-context files, hosts without
+    cpufreq) and refusing every such pair would block legitimate
+    comparisons.
+    """
+    if base_gov == new_gov or "unknown" in (base_gov, new_gov):
+        return None
+    return (
+        f"cpu governor mismatch: baseline recorded "
+        f"fvc_cpu_governor={base_gov!r} but new recorded "
+        f"{new_gov!r}; timings move with the frequency policy, so "
+        f"treat any delta below with suspicion"
+    )
+
+
+# The per-phase lane kernel counters (recorded under
+# FVC_KERNEL_STATS=1) that attribute a sweep regression to the
+# hit loop, the miss drain, or the encode/store-log front end.
+PHASE_COUNTERS = [
+    "fvc_hit_cycles",
+    "fvc_drain_cycles",
+    "fvc_encode_cycles",
+    "fvc_hit_records",
+    "fvc_drain_records",
+]
+
+
+def load_phase_counters(path):
+    """name -> {counter: value} for benchmarks carrying the lane
+    kernel's per-phase counters. Google-benchmark flattens user
+    counters into the per-benchmark JSON object."""
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        phases = {key: float(bench[key]) for key in PHASE_COUNTERS
+                  if key in bench}
+        if name is not None and phases:
+            out[name] = phases
+    return out
+
+
+def attribute_phases(name, base_phases, new_phases):
+    """Report lines attributing benchmark @name's regression to the
+    kernel phases, or [] when either run lacks the counters (not
+    recorded with FVC_KERNEL_STATS=1)."""
+    base = base_phases.get(name)
+    cur = new_phases.get(name)
+    if not base or not cur:
+        return []
+    lines = [f"    phase attribution (per iteration, "
+             f"FVC_KERNEL_STATS counters):"]
+    for key in PHASE_COUNTERS:
+        if key not in base or key not in cur:
+            continue
+        b = base[key]
+        c = cur[key]
+        delta = 100.0 * (c - b) / b if b > 0 else 0.0
+        lines.append(
+            f"      {key}: {b:.0f} -> {c:.0f} ({delta:+.1f}%)")
+    return lines
+
+
 def compare(baseline, new, hot, threshold_pct):
     """Return (report_lines, failures) for the two name->time maps."""
     lines = []
@@ -278,6 +361,32 @@ def self_test():
     assert check_result_cache_states("warm", "warm") is None
     assert check_result_cache_states("off", "off") is None
 
+    # 10. Governor mismatch warns only when both sides are known;
+    #     an unknown side (pre-context file, host without cpufreq)
+    #     never warns, and never refuses anything.
+    assert check_governors("performance", "powersave") is not None
+    assert check_governors("performance", "performance") is None
+    assert check_governors("unknown", "performance") is None
+    assert check_governors("performance", "unknown") is None
+    assert check_governors("unknown", "unknown") is None
+
+    # 11. Phase attribution pinpoints the regressing phase, and
+    #     stays silent when either run lacks the counters.
+    base_phases = {"BM_GridSweepSinglePass": {
+        "fvc_hit_cycles": 100.0, "fvc_drain_cycles": 50.0}}
+    new_phases = {"BM_GridSweepSinglePass": {
+        "fvc_hit_cycles": 110.0, "fvc_drain_cycles": 200.0}}
+    lines = attribute_phases("BM_GridSweepSinglePass", base_phases,
+                             new_phases)
+    assert any("fvc_drain_cycles" in ln and "+300.0%" in ln
+               for ln in lines), lines
+    assert any("fvc_hit_cycles" in ln and "+10.0%" in ln
+               for ln in lines), lines
+    assert attribute_phases("BM_GridSweepSinglePass", {},
+                            new_phases) == []
+    assert attribute_phases("BM_Other", base_phases,
+                            new_phases) == []
+
     print("compare_bench.py self-test: all checks passed")
     return 0
 
@@ -325,6 +434,10 @@ def main(argv):
     if mismatch:
         print(f"error: {mismatch}", file=sys.stderr)
         return 1
+    warning = check_governors(load_governor(args.baseline),
+                              load_governor(args.new))
+    if warning:
+        print(f"warning: {warning}", file=sys.stderr)
     baseline = load_times(args.baseline)
     new = load_times(args.new)
     lines, failures = compare(baseline, new, set(hot),
@@ -337,8 +450,13 @@ def main(argv):
         print(line)
     if failures:
         print(f"\n{len(failures)} hot regression(s):")
+        base_phases = load_phase_counters(args.baseline)
+        new_phases = load_phase_counters(args.new)
         for failure in failures:
             print(f"  {failure}")
+            for line in attribute_phases(failure.split(":")[0],
+                                         base_phases, new_phases):
+                print(line)
         return 1
     print("\nno hot regressions")
     return 0

@@ -7,7 +7,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <string>
 
 #include "cache/cache_system.hh"
 #include "core/dmc_fvc_system.hh"
@@ -17,6 +20,7 @@
 #include "profiling/value_table.hh"
 #include "resultcache/repository.hh"
 #include "sim/batch_encoder.hh"
+#include "sim/kernel_stats.hh"
 #include "sim/lane_kernel.hh"
 #include "sim/lane_state.hh"
 #include "sim/multi_config.hh"
@@ -178,11 +182,42 @@ BM_GridSweepPerCell(benchmark::State &state)
 }
 BENCHMARK(BM_GridSweepPerCell)->Unit(benchmark::kMillisecond);
 
+/**
+ * When FVC_KERNEL_STATS=1, attach the lane kernel's per-phase cycle
+ * and record counters to @p state so they land in the JSON next to
+ * the benchmark's wall time. kAvgIterations divides by the iteration
+ * count, so each counter reads as "per run of the workload" and
+ * compare_bench.py can attribute a regression to the phase that
+ * moved. Call resetLaneKernelStats() before the timing loop.
+ */
+void
+attachKernelPhaseCounters(benchmark::State &state)
+{
+    if (!sim::laneKernelStatsEnabled())
+        return;
+    const sim::LaneKernelStats &s = sim::laneKernelStats();
+    using benchmark::Counter;
+    const auto avg = Counter::kAvgIterations;
+    state.counters["fvc_hit_cycles"] = Counter(
+        static_cast<double>(s.hit_cycles.load()), avg);
+    state.counters["fvc_drain_cycles"] = Counter(
+        static_cast<double>(s.drain_cycles.load()), avg);
+    state.counters["fvc_encode_cycles"] = Counter(
+        static_cast<double>(s.encode_cycles.load()), avg);
+    state.counters["fvc_hit_records"] = Counter(
+        static_cast<double>(s.hit_records.load()), avg);
+    state.counters["fvc_drain_records"] = Counter(
+        static_cast<double>(s.drain_records.load()), avg);
+    state.counters["fvc_blocks"] = Counter(
+        static_cast<double>(s.blocks.load()), avg);
+}
+
 void
 BM_GridSweepSinglePass(benchmark::State &state)
 {
     const auto &trace = gccTrace();
     const auto grid = sweepGrid();
+    sim::resetLaneKernelStats();
     for (auto _ : state) {
         sim::MultiConfigSimulator engine(trace.columns,
                                          trace.initial_image,
@@ -209,6 +244,7 @@ BM_GridSweepSinglePass(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() *
                             trace.columns.size() * grid.size());
+    attachKernelPhaseCounters(state);
 }
 BENCHMARK(BM_GridSweepSinglePass)->Unit(benchmark::kMillisecond);
 
@@ -374,6 +410,76 @@ BM_LaneFvcProbe(benchmark::State &state)
 BENCHMARK(BM_LaneFvcProbe);
 
 void
+BM_LaneMissDrain(benchmark::State &state)
+{
+    // Worst case for the miss engines: every record of every block
+    // takes the full miss path — inline (with prediction repair)
+    // on the vector direct-mapped walk, queued and drained on the
+    // scalar one. Eight DMC+FVC lanes ping-pong between two
+    // conflicting working sets (lines i and i + 8KB share a set),
+    // and the encoding's value set excludes 0, so the all-zero
+    // image makes every victim line barren — the FVC stays empty
+    // and each miss runs victim read + frequent-mask + skipped
+    // install, the heaviest always-taken slice of the miss path.
+    sim::LaneGroupSet lanes;
+    cache::CacheConfig dmc;
+    dmc.size_bytes = 8 * 1024;
+    dmc.line_bytes = 32;
+    core::FvcConfig fvc;
+    fvc.entries = 256;
+    fvc.line_bytes = 32;
+    fvc.code_bits = 3;
+    core::DmcFvcPolicy policy;
+    constexpr size_t kLanes = 8;
+    for (size_t cell = 0; cell < kLanes; ++cell)
+        lanes.addFvcLane(cell, dmc, fvc, policy, 0);
+    lanes.finalize();
+
+    core::FrequentValueEncoding enc({1, 2, 3, 4, 5, 6, 7}, 3);
+    sim::BatchEncoder encoder(enc);
+    const sim::BatchEncoder *encoders[1] = {&encoder};
+    memmodel::FunctionalMemory image; // all-zero: no word frequent
+    sim::FreqWordMap freq_map;
+    freq_map.init(encoders, 1);
+
+    alignas(64) trace::Addr addrs_a[sim::kLaneBlockRecords];
+    alignas(64) trace::Addr addrs_b[sim::kLaneBlockRecords];
+    alignas(64) trace::Word values[sim::kLaneBlockRecords] = {};
+    for (size_t i = 0; i < sim::kLaneBlockRecords; ++i) {
+        addrs_a[i] = static_cast<trace::Addr>(i * 32);
+        addrs_b[i] = static_cast<trace::Addr>(i * 32 + 8 * 1024);
+    }
+    uint64_t freq =
+        encoder.frequentMask(values, sim::kLaneBlockRecords);
+
+    sim::BlockCtx ctx_a;
+    ctx_a.addrs = addrs_a;
+    ctx_a.values = values;
+    ctx_a.n = sim::kLaneBlockRecords;
+    ctx_a.access_mask = ~uint64_t{0};
+    ctx_a.freq_masks = &freq;
+    ctx_a.image = &image;
+    ctx_a.freq_map = &freq_map;
+    sim::BlockCtx ctx_b = ctx_a;
+    ctx_b.addrs = addrs_b;
+
+    sim::LaneBlockFn fn = bestLaneKernel();
+    sim::LaneGroup &g = lanes.groups().front();
+    fn(g, ctx_a); // warm: cold fills, so the loop sees only
+    fn(g, ctx_b); // conflict misses in the steady state
+    sim::resetLaneKernelStats();
+    for (auto _ : state) {
+        fn(g, ctx_a); // evicts the B lines, installs A
+        fn(g, ctx_b); // evicts the A lines, installs B
+        benchmark::DoNotOptimize(g.dmc_stamps.data());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            sim::kLaneBlockRecords * 2 * kLanes);
+    attachKernelPhaseCounters(state);
+}
+BENCHMARK(BM_LaneMissDrain);
+
+void
 BM_BatchEncoding(benchmark::State &state)
 {
     const auto &trace = gccTrace();
@@ -477,6 +583,50 @@ BM_TraceLoad(benchmark::State &state)
 }
 BENCHMARK(BM_TraceLoad)->Unit(benchmark::kMillisecond);
 
+// --- Host identification for the JSON context ------------------
+//
+// Timings are only comparable across runs on the same CPU at the
+// same frequency policy, so the context records both. run_bench.sh
+// passes them through FVC_BENCH_CPU_MODEL / FVC_BENCH_GOVERNOR (so
+// the recorded values match what the wrapper saw and logged); when
+// run standalone the benchmark reads the host directly.
+
+std::string
+benchCpuModel()
+{
+    if (const char *env = std::getenv("FVC_BENCH_CPU_MODEL");
+        env != nullptr && *env != '\0')
+        return env;
+    std::ifstream in("/proc/cpuinfo");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("model name", 0) != 0)
+            continue;
+        const auto colon = line.find(':');
+        if (colon == std::string::npos)
+            break;
+        auto value = line.substr(colon + 1);
+        value.erase(0, value.find_first_not_of(" \t"));
+        if (!value.empty())
+            return value;
+    }
+    return "unknown";
+}
+
+std::string
+benchGovernor()
+{
+    if (const char *env = std::getenv("FVC_BENCH_GOVERNOR");
+        env != nullptr && *env != '\0')
+        return env;
+    std::ifstream in(
+        "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor");
+    std::string governor;
+    if (in >> governor && !governor.empty())
+        return governor;
+    return "unknown";
+}
+
 } // namespace
 
 // Custom main so the JSON context records whether *our* code was
@@ -522,6 +672,18 @@ main(int argc, char **argv)
         "fvc_workers", fabric_workers
                            ? std::to_string(*fabric_workers)
                            : std::string("serial"));
+    // Host identity: sweep timings only compare within one CPU
+    // model, and a non-"performance" governor lets the clock drift
+    // mid-run. compare_bench.py warns when the governors of the two
+    // runs differ.
+    benchmark::AddCustomContext("fvc_cpu_model", benchCpuModel());
+    benchmark::AddCustomContext("fvc_cpu_governor", benchGovernor());
+    // Whether the per-phase kernel counters were live this run.
+    // Timing the phases costs a pair of rdtsc reads per block, so
+    // stats runs are not comparable against non-stats runs.
+    benchmark::AddCustomContext(
+        "fvc_kernel_stats",
+        fvc::sim::laneKernelStatsEnabled() ? "on" : "off");
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))
         return 1;

@@ -57,6 +57,18 @@ out="$repo_root/BENCH_microbench.json"
 tmp="$out.tmp"
 trap 'rm -f "$tmp"' EXIT
 
+# Record the host CPU and its frequency-scaling governor in the JSON
+# context. The microbench falls back to reading the host itself, but
+# exporting the values here means the recorded context matches what
+# this wrapper observed (and logs below) at build-and-run time.
+cpu_model=$(sed -n 's/^model name[^:]*: *//p' /proc/cpuinfo 2>/dev/null \
+    | head -n1)
+governor=$(cat /sys/devices/system/cpu/cpu0/cpufreq/scaling_governor \
+    2>/dev/null || true)
+FVC_BENCH_CPU_MODEL="${cpu_model:-unknown}"
+FVC_BENCH_GOVERNOR="${governor:-unknown}"
+export FVC_BENCH_CPU_MODEL FVC_BENCH_GOVERNOR
+
 "$bin" \
     --benchmark_out="$tmp" \
     --benchmark_out_format=json \
@@ -82,3 +94,4 @@ simd_isa=$(sed -n \
     's/.*"fvc_simd_isa": "\([a-z0-9]*\)".*/\1/p' "$out" | head -n1)
 echo "wrote $out (fvc_trace_store: ${store_state:-unknown}," \
      "fvc_simd_isa: ${simd_isa:-unknown})"
+echo "host: ${FVC_BENCH_CPU_MODEL} (governor: ${FVC_BENCH_GOVERNOR})"

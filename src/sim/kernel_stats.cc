@@ -1,0 +1,52 @@
+#include "sim/kernel_stats.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace fvc::sim {
+
+bool
+laneKernelStatsEnvEnabled(const char *value)
+{
+    if (value == nullptr || *value == '\0' ||
+        std::strcmp(value, "0") == 0) {
+        return false;
+    }
+    if (std::strcmp(value, "1") == 0)
+        return true;
+    std::fprintf(stderr,
+                 "fvc: unrecognized FVC_KERNEL_STATS value '%s' "
+                 "(expected 0 or 1); kernel stats stay off\n",
+                 value);
+    return false;
+}
+
+bool
+laneKernelStatsEnabled()
+{
+    static const bool enabled =
+        laneKernelStatsEnvEnabled(std::getenv("FVC_KERNEL_STATS"));
+    return enabled;
+}
+
+LaneKernelStats &
+laneKernelStats()
+{
+    static LaneKernelStats stats;
+    return stats;
+}
+
+void
+resetLaneKernelStats()
+{
+    LaneKernelStats &s = laneKernelStats();
+    s.hit_cycles.store(0, std::memory_order_relaxed);
+    s.drain_cycles.store(0, std::memory_order_relaxed);
+    s.encode_cycles.store(0, std::memory_order_relaxed);
+    s.hit_records.store(0, std::memory_order_relaxed);
+    s.drain_records.store(0, std::memory_order_relaxed);
+    s.blocks.store(0, std::memory_order_relaxed);
+}
+
+} // namespace fvc::sim

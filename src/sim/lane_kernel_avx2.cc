@@ -66,10 +66,12 @@ struct Avx2LaneTraits
     }
 
     /**
-     * Re-predict after a miss installed/updated line @p miss_idx,
-     * whose tag is now @p cur_tag: records still pending whose line
-     * index aliases it get their prediction replaced by a compare
-     * against cur_tag; all other predictions stay valid.
+     * Repair the predicted-hit mask after an inline miss installed
+     * a new tag at set @p miss_idx: among the still-unretired
+     * records of this chunk, those aliasing the missed set predict
+     * hit iff their tag equals the set's now-current tag
+     * @p cur_tag. One broadcast compare each way; records of other
+     * sets keep their prediction.
      */
     static uint64_t
     recompare(const uint32_t *idx, const uint32_t *tag, unsigned c0,
@@ -90,10 +92,99 @@ struct Avx2LaneTraits
             reinterpret_cast<const __m256i *>(tag + c0));
         const uint64_t hit =
             static_cast<unsigned>(_mm256_movemask_ps(
-                _mm256_castsi256_ps(_mm256_cmpeq_epi32(
-                    vtag, _mm256_set1_epi32(
-                              static_cast<int>(cur_tag))))));
+                _mm256_castsi256_ps(
+                    _mm256_cmpeq_epi32(vtag, _mm256_set1_epi32(
+                        static_cast<int>(cur_tag))))));
         return (pred & ~same) | (hit & same);
+    }
+
+    /** Elementwise min of u64 stamps via the signed compare: stamps
+     * are ++clock counters far below 2^63, so signed and unsigned
+     * order agree (the INT64_MAX sentinel is likewise the maximum
+     * in both orders). */
+    static __m256i
+    min64(__m256i a, __m256i b)
+    {
+        return _mm256_blendv_epi8(a, b, _mm256_cmpgt_epi64(a, b));
+    }
+
+    /**
+     * Strict-min-stamp way (first wins) over one set's contiguous
+     * u64 stamp column. The masked load fault-suppresses the lanes
+     * past assoc (no sentinel padding on the stamp columns); those
+     * lanes read as zero and are blended to INT64_MAX so they never
+     * win the min. Only called on full sets, where every stamp has
+     * been written.
+     */
+    static uint32_t
+    minStampWay(const uint64_t *stamps, uint32_t assoc)
+    {
+        uint64_t best_v = UINT64_MAX;
+        uint32_t best = 0;
+        const __m256i iota = _mm256_setr_epi64x(0, 1, 2, 3);
+        for (uint32_t w0 = 0; w0 < assoc; w0 += 4) {
+            const uint32_t lanes =
+                assoc - w0 >= 4 ? 4 : assoc - w0;
+            const __m256i active = _mm256_cmpgt_epi64(
+                _mm256_set1_epi64x(static_cast<long long>(lanes)),
+                iota);
+            const __m256i loaded = _mm256_maskload_epi64(
+                reinterpret_cast<const long long *>(stamps + w0),
+                active);
+            const __m256i v = _mm256_blendv_epi8(
+                _mm256_set1_epi64x(INT64_MAX), loaded, active);
+            __m256i x =
+                min64(v, _mm256_permute4x64_epi64(v, 0x4e));
+            x = min64(x, _mm256_shuffle_epi32(x, 0x4e));
+            // Every lane of x now holds the chunk minimum.
+            const uint64_t mn = static_cast<uint64_t>(
+                _mm256_extract_epi64(x, 0));
+            if (mn < best_v) {
+                best_v = mn;
+                const unsigned eq =
+                    static_cast<unsigned>(_mm256_movemask_pd(
+                        _mm256_castsi256_pd(
+                            _mm256_cmpeq_epi64(v, x)))) &
+                    ((1u << lanes) - 1);
+                best = w0 + static_cast<uint32_t>(
+                                std::countr_zero(eq));
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Probe one FVC set: mask-gather the tag dword of each 32-byte
+     * FvcEntry (dword 4 of 8, stride 8 dwords) and compare 8 ways
+     * at once. First match wins, as the scalar walk.
+     */
+    static int
+    fvcFindWay(const FvcEntry *row, uint32_t assoc, uint32_t tag)
+    {
+        if (assoc == 1)
+            return row[0].tag == tag ? 0 : -1;
+        const __m256i vtag = _mm256_set1_epi32(static_cast<int>(tag));
+        const __m256i vindex =
+            _mm256_setr_epi32(0, 8, 16, 24, 32, 40, 48, 56);
+        for (uint32_t w0 = 0; w0 < assoc; w0 += 8) {
+            const uint32_t lanes =
+                assoc - w0 >= 8 ? 8 : assoc - w0;
+            const __m256i active = laneMask((1u << lanes) - 1);
+            const int *base =
+                reinterpret_cast<const int *>(row + w0) + 4;
+            const __m256i got = _mm256_mask_i32gather_epi32(
+                _mm256_setzero_si256(), base, vindex, active, 4);
+            const unsigned eq =
+                (static_cast<unsigned>(_mm256_movemask_ps(
+                     _mm256_castsi256_ps(
+                         _mm256_cmpeq_epi32(got, vtag))))) &
+                ((1u << lanes) - 1);
+            if (eq != 0)
+                return static_cast<int>(
+                    w0 + static_cast<unsigned>(
+                             std::countr_zero(eq)));
+        }
+        return -1;
     }
 
     static void

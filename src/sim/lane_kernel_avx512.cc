@@ -47,10 +47,12 @@ struct Avx512LaneTraits
     }
 
     /**
-     * Re-predict after a miss installed/updated line @p miss_idx,
-     * whose tag is now @p cur_tag: records still pending whose line
-     * index aliases it get their prediction replaced by a compare
-     * against cur_tag; all other predictions stay valid.
+     * Repair the predicted-hit mask after an inline miss installed
+     * a new tag at set @p miss_idx: among the still-unretired
+     * records of this chunk, those aliasing the missed set predict
+     * hit iff their tag equals the set's now-current tag
+     * @p cur_tag. One broadcast compare each way; records of other
+     * sets keep their prediction.
      */
     static uint64_t
     recompare(const uint32_t *idx, const uint32_t *tag, unsigned c0,
@@ -70,6 +72,75 @@ struct Avx512LaneTraits
             _mm512_set1_epi32(static_cast<int>(cur_tag)));
         return (pred & ~static_cast<uint64_t>(same)) |
                static_cast<uint64_t>(hit);
+    }
+
+    /**
+     * Strict-min-stamp way (first wins) over one set's contiguous
+     * u64 stamp column. The masked load fault-suppresses the lanes
+     * past assoc, so the stamp columns need no sentinel padding;
+     * masked-off lanes read as UINT64_MAX and are excluded from the
+     * equality mask anyway. Only called on full sets, where every
+     * stamp has been written.
+     */
+    static uint32_t
+    minStampWay(const uint64_t *stamps, uint32_t assoc)
+    {
+        uint64_t best_v = UINT64_MAX;
+        uint32_t best = 0;
+        for (uint32_t w0 = 0; w0 < assoc; w0 += 8) {
+            const uint32_t lanes =
+                assoc - w0 >= 8 ? 8 : assoc - w0;
+            const __mmask8 m = static_cast<__mmask8>(
+                lanes >= 8 ? 0xffu : (1u << lanes) - 1);
+            const __m512i v = _mm512_mask_loadu_epi64(
+                _mm512_set1_epi64(-1), m, stamps + w0);
+            const uint64_t mn = _mm512_reduce_min_epu64(v);
+            if (mn < best_v) {
+                best_v = mn;
+                const unsigned eq = static_cast<unsigned>(
+                    _mm512_cmpeq_epu64_mask(
+                        v, _mm512_set1_epi64(
+                               static_cast<long long>(mn)))) &
+                    m;
+                best = w0 + static_cast<uint32_t>(
+                                std::countr_zero(eq));
+            }
+        }
+        return best;
+    }
+
+    /**
+     * Probe one FVC set: mask-gather the tag dword of each 32-byte
+     * FvcEntry (dword 4 of 8, stride 8 dwords) and compare 16 ways
+     * at once. First match wins, as the scalar walk.
+     */
+    static int
+    fvcFindWay(const FvcEntry *row, uint32_t assoc, uint32_t tag)
+    {
+        if (assoc == 1)
+            return row[0].tag == tag ? 0 : -1;
+        const __m512i vtag =
+            _mm512_set1_epi32(static_cast<int>(tag));
+        const __m512i vindex = _mm512_setr_epi32(
+            0, 8, 16, 24, 32, 40, 48, 56, 64, 72, 80, 88, 96, 104,
+            112, 120);
+        for (uint32_t w0 = 0; w0 < assoc; w0 += 16) {
+            const uint32_t lanes =
+                assoc - w0 >= 16 ? 16 : assoc - w0;
+            const __mmask16 m = static_cast<__mmask16>(
+                lanes >= 16 ? 0xffffu : (1u << lanes) - 1);
+            const int *base =
+                reinterpret_cast<const int *>(row + w0) + 4;
+            const __m512i got = _mm512_mask_i32gather_epi32(
+                _mm512_setzero_si512(), m, vindex, base, 4);
+            const unsigned eq = static_cast<unsigned>(
+                _mm512_mask_cmpeq_epi32_mask(m, got, vtag));
+            if (eq != 0)
+                return static_cast<int>(
+                    w0 + static_cast<unsigned>(
+                             std::countr_zero(eq)));
+        }
+        return -1;
     }
 
     static void

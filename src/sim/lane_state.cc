@@ -9,210 +9,12 @@
 
 namespace fvc::sim {
 
-namespace {
+// The per-record protocol helpers (victim selection, FVC probe,
+// fetch/install, the full miss path) live in lane_kernel_impl.hh,
+// templated on the ISA traits so the drain's vertical primitives
+// (findWay / minStampWay / fvcFindWay) stay in the same translation
+// unit as the hit loop that feeds them.
 
-uint32_t
-fvcWordOffset(const Lane &lane, Addr addr)
-{
-    return (addr & (lane.line_bytes - 1)) / trace::kWordBytes;
-}
-
-uint32_t
-dmcVictimWay(LaneGroup &g, Lane &lane, uint32_t set)
-{
-    // Direct mapped: the victim is way 0 whether it is invalid, the
-    // stamp minimum, or rng.below(1). The lane's RNG is only ever
-    // drawn here, so skipping the (result-0) draw leaves no
-    // observable trace.
-    if (g.assoc == 1)
-        return 0;
-    const size_t base =
-        lane.dmc_base + static_cast<size_t>(set) * g.assoc;
-    for (uint32_t way = 0; way < g.assoc; ++way) {
-        if (g.dmc_tags[base + way] == kLaneInvalidTag)
-            return way;
-    }
-    switch (g.replacement) {
-      case cache::Replacement::Random:
-        return static_cast<uint32_t>(lane.rng.below(g.assoc));
-      case cache::Replacement::LRU:
-      case cache::Replacement::FIFO: {
-        uint32_t best = 0;
-        for (uint32_t way = 1; way < g.assoc; ++way) {
-            if (g.dmc_stamps[base + way] < g.dmc_stamps[base + best])
-                best = way;
-        }
-        return best;
-      }
-    }
-    fvc_panic("unreachable replacement policy");
-}
-
-/** Entry index of the FVC tag match, or SIZE_MAX. */
-size_t
-fvcFind(const LaneGroup &g, const Lane &lane, Addr addr)
-{
-    uint32_t set = (addr >> lane.fvc_offset_bits) & lane.fvc_set_mask;
-    uint32_t tag = addr >> lane.fvc_tag_shift;
-    size_t e =
-        lane.fvc_base + static_cast<size_t>(set) * lane.fvc_assoc;
-    for (uint32_t way = 0; way < lane.fvc_assoc; ++way, ++e) {
-        if (g.fvc[e].tag == tag)
-            return e;
-    }
-    return SIZE_MAX;
-}
-
-/** First invalid entry, else the strict-min-stamp one (first wins). */
-size_t
-fvcVictim(const LaneGroup &g, const Lane &lane, uint32_t set)
-{
-    size_t first =
-        lane.fvc_base + static_cast<size_t>(set) * lane.fvc_assoc;
-    // Direct mapped: way 0 wins whether invalid or stamp-minimal.
-    if (lane.fvc_assoc == 1)
-        return first;
-    size_t best = SIZE_MAX;
-    for (uint32_t way = 0; way < lane.fvc_assoc; ++way) {
-        size_t e = first + way;
-        if (g.fvc[e].tag == kLaneInvalidTag)
-            return e;
-        if (best == SIZE_MAX ||
-            g.fvc[e].stamp < g.fvc[best].stamp)
-            best = e;
-    }
-    return best;
-}
-
-/**
- * The victim line's frequent-word mask at in-block time @p rec. The
- * shared image is frozen at the block's first record, but the
- * scalar engine reads it with every store of record index < rec
- * already applied — so start from the FreqWordMap's frozen bits and
- * overlay the block's store log (record order; later stores
- * overwrite earlier ones). A store's frequent bit is already known:
- * it is the record's bit in the block's per-group frequent mask.
- * The block's Bloom filter skips the scan when no store landed in
- * the victim line — the common case (a zero filter means "not
- * computed" and scans unconditionally; a computed filter is nonzero
- * whenever the log is nonempty).
- */
-uint64_t
-lineFrequentMask(const Lane &lane, const LaneGroup &g,
-                 const BlockCtx &ctx, Addr base, unsigned rec)
-{
-    uint64_t mask = ctx.freq_map->lineMask(*ctx.image, base,
-                                           lane.words_per_line,
-                                           g.enc_group);
-    if (ctx.n_stores == 0)
-        return mask;
-    if (ctx.store_line_filter != 0) {
-        uint64_t fbits = 0;
-        for (Addr a = base; a < base + lane.line_bytes; a += 32)
-            fbits |= uint64_t{1} << ((a >> 5) & 63);
-        if ((ctx.store_line_filter & fbits) == 0)
-            return mask;
-    }
-    const Addr line_mask = lane.line_bytes - 1;
-    const uint64_t freq = ctx.freq_masks[g.enc_group];
-    for (uint32_t j = 0; j < ctx.n_stores; ++j) {
-        if (ctx.store_rec[j] >= rec)
-            break;
-        Addr a = ctx.store_addr[j];
-        if ((a & ~line_mask) == base) {
-            uint32_t w = (a & line_mask) / trace::kWordBytes;
-            uint64_t bit = (freq >> ctx.store_rec[j]) & 1u;
-            mask = (mask & ~(uint64_t{1} << w)) | (bit << w);
-        }
-    }
-    return mask;
-}
-
-void
-writebackFvcMeta(Lane &lane, uint64_t present, bool dirty)
-{
-    if (!dirty)
-        return;
-    ++lane.fvc_stats.fvc_writebacks;
-    ++lane.stats.writebacks;
-    lane.stats.writeback_bytes +=
-        static_cast<uint64_t>(std::popcount(present)) *
-        trace::kWordBytes;
-}
-
-void
-handleDmcEviction(LaneGroup &g, Lane &lane, const BlockCtx &ctx,
-                  unsigned rec, Addr base, bool dirty)
-{
-    if (dirty) {
-        ++lane.stats.writebacks;
-        lane.stats.writeback_bytes += lane.line_bytes;
-    }
-    uint64_t mask = lineFrequentMask(lane, g, ctx, base, rec);
-    if (lane.skip_barren && mask == 0) {
-        ++lane.fvc_stats.insertions_skipped;
-        return;
-    }
-    ++lane.fvc_stats.insertions;
-
-    uint32_t set = (base >> lane.fvc_offset_bits) & lane.fvc_set_mask;
-    FvcEntry &slot = g.fvc[fvcVictim(g, lane, set)];
-    if (slot.tag != kLaneInvalidTag)
-        writebackFvcMeta(lane, slot.present, slot.dirty != 0);
-    slot.tag = base >> lane.fvc_tag_shift;
-    slot.dirty = 0; // clean insertion: memory just made current
-    if (lane.fvc_assoc != 1) // dead store when direct mapped
-        slot.stamp = ++lane.fvc_clock;
-    slot.present = mask;
-}
-
-/** Fetch + install @p addr's line; returns the installed line's
- * column index (so write misses can dirty it). */
-size_t
-fetchInstall(LaneGroup &g, Lane &lane, const BlockCtx &ctx,
-             unsigned rec, Addr addr)
-{
-    Addr base =
-        static_cast<Addr>(util::alignDown(addr, lane.line_bytes));
-
-    // FVC overlay + retirement (exclusivity): the line enters the
-    // DMC dirty iff the FVC held newer frequent words.
-    bool dirty = false;
-    if (size_t e = fvcFind(g, lane, base); e != SIZE_MAX) {
-        FvcEntry &entry = g.fvc[e];
-        dirty = entry.dirty != 0 && entry.present != 0;
-        entry.tag = kLaneInvalidTag;
-        entry.dirty = 0;
-    }
-
-    ++lane.stats.fills;
-    lane.stats.fetch_bytes += lane.line_bytes;
-
-    uint32_t set = (addr >> g.offset_bits) & lane.dmc_set_mask;
-    size_t line = lane.dmc_base +
-                  static_cast<size_t>(set) * g.assoc +
-                  dmcVictimWay(g, lane, set);
-    const uint32_t victim_word = g.dmc_tags[line];
-    const uint32_t victim_tag = victim_word & ~kLaneDirtyBit;
-    const bool victim_dirty = (victim_word & kLaneDirtyBit) != 0;
-    g.dmc_tags[line] =
-        static_cast<uint32_t>(addr >> lane.dmc_tag_shift) |
-        (dirty ? kLaneDirtyBit : 0);
-    if (g.assoc != 1) // dead store when direct mapped
-        g.dmc_stamps[line] = ++lane.dmc_clock;
-
-    if (victim_tag != kLaneInvalidTag) {
-        Addr victim_base = static_cast<Addr>(
-            (static_cast<uint64_t>(victim_tag)
-             << lane.dmc_tag_shift) |
-            (static_cast<uint64_t>(set) << g.offset_bits));
-        handleDmcEviction(g, lane, ctx, rec, victim_base,
-                          victim_dirty);
-    }
-    return line;
-}
-
-} // namespace
 
 void
 FreqWordMap::init(const BatchEncoder *const *encoders,
@@ -326,102 +128,6 @@ FreqWordMap::noteStore(Addr addr, uint8_t byte)
     // image when first encoded.
     if ((slot.page->seg_valid >> (w / kSegWords)) & 1u)
         slot.page->bits[w] = byte;
-}
-
-void
-LaneGroupSet::missPath(LaneGroup &g, Lane &lane, const BlockCtx &ctx,
-                       unsigned rec, Addr addr, bool is_store,
-                       bool frequent)
-{
-    if (!g.is_fvc) {
-        // TagOnlyCache::access, miss branch.
-        if (is_store)
-            ++lane.stats.write_misses;
-        else
-            ++lane.stats.read_misses;
-        ++lane.stats.fills;
-        lane.stats.fetch_bytes += lane.line_bytes;
-
-        uint32_t set = (addr >> g.offset_bits) & lane.dmc_set_mask;
-        size_t line = lane.dmc_base +
-                      static_cast<size_t>(set) * g.assoc +
-                      dmcVictimWay(g, lane, set);
-        // Invalid lines are never dirty, so the dirty bit alone
-        // decides the writeback.
-        if (g.dmc_tags[line] & kLaneDirtyBit) {
-            ++lane.stats.writebacks;
-            lane.stats.writeback_bytes += lane.line_bytes;
-        }
-        g.dmc_tags[line] =
-            static_cast<uint32_t>(addr >> lane.dmc_tag_shift) |
-            (is_store ? kLaneDirtyBit : 0);
-        if (g.assoc != 1) // dead store when direct mapped
-            g.dmc_stamps[line] = ++lane.dmc_clock;
-        return;
-    }
-
-    // CountingDmcFvc::access from the DMC-miss point on.
-    if (!is_store) {
-        if (size_t e = fvcFind(g, lane, addr); e != SIZE_MAX) {
-            // Touched even when the word is non-frequent (dead
-            // store when direct mapped).
-            if (lane.fvc_assoc != 1)
-                g.fvc[e].stamp = ++lane.fvc_clock;
-            if ((g.fvc[e].present >> fvcWordOffset(lane, addr)) &
-                1u) {
-                ++lane.stats.read_hits;
-                ++lane.fvc_stats.fvc_read_hits;
-                return;
-            }
-            ++lane.stats.read_misses;
-            ++lane.fvc_stats.partial_misses;
-            fetchInstall(g, lane, ctx, rec, addr);
-            return;
-        }
-        ++lane.stats.read_misses;
-        fetchInstall(g, lane, ctx, rec, addr);
-        return;
-    }
-
-    if (size_t e = fvcFind(g, lane, addr); e != SIZE_MAX) {
-        if (!frequent) {
-            // Tag match, non-frequent value: miss; merge the line
-            // into the DMC and perform the write there. (No LRU
-            // touch — probeWrite bails before stamping.)
-            ++lane.stats.write_misses;
-            ++lane.fvc_stats.partial_misses;
-            size_t line = fetchInstall(g, lane, ctx, rec, addr);
-            g.dmc_tags[line] |= kLaneDirtyBit; // writeWord
-            return;
-        }
-        g.fvc[e].present |= uint64_t{1} << fvcWordOffset(lane, addr);
-        g.fvc[e].dirty = 1;
-        if (lane.fvc_assoc != 1) // dead store when direct mapped
-            g.fvc[e].stamp = ++lane.fvc_clock;
-        ++lane.stats.write_hits;
-        ++lane.fvc_stats.fvc_write_hits;
-        return;
-    }
-
-    // Miss in both structures.
-    ++lane.stats.write_misses;
-    if (lane.write_alloc && frequent) {
-        ++lane.fvc_stats.write_allocations;
-        uint32_t set =
-            (addr >> lane.fvc_offset_bits) & lane.fvc_set_mask;
-        FvcEntry &slot = g.fvc[fvcVictim(g, lane, set)];
-        if (slot.tag != kLaneInvalidTag)
-            writebackFvcMeta(lane, slot.present, slot.dirty != 0);
-        slot.tag =
-            static_cast<uint32_t>(addr >> lane.fvc_tag_shift);
-        slot.dirty = 1;
-        if (lane.fvc_assoc != 1) // dead store when direct mapped
-            slot.stamp = ++lane.fvc_clock;
-        slot.present = uint64_t{1} << fvcWordOffset(lane, addr);
-        return;
-    }
-    size_t line = fetchInstall(g, lane, ctx, rec, addr);
-    g.dmc_tags[line] |= kLaneDirtyBit; // writeWord
 }
 
 void
@@ -548,6 +254,13 @@ LaneGroupSet::finalize()
         g.dmc_tags.assign(dmc_total + kLaneTagPad, kLaneInvalidTag);
         g.dmc_stamps.assign(dmc_total, 0);
         g.fvc.assign(fvc_total, FvcEntry{});
+        g.miss_queue.assign(g.lanes.size() * kLaneBlockRecords,
+                            MissEntry{});
+        g.miss_count.assign(g.lanes.size(), 0);
+        // Epoch slot per tag-column slot (pad included so vector
+        // epoch gathers at any set start stay in bounds); 0 never
+        // equals a live epoch (the counter pre-increments).
+        g.queue_epoch.assign(g.dmc_tags.size(), 0);
     }
 }
 

@@ -12,10 +12,14 @@
  * their line state is stored as contiguous columns (tag / dirty /
  * stamp, plus FVC tag / dirty / stamp / present) concatenated
  * lane-after-lane in one arena allocation per group. The hot
- * probe streams those columns; only true protocol divergence (a
- * DMC miss, an occupancy sample, a Random-replacement RNG draw)
- * drops to the per-lane scalar miss path, so one divergent lane
- * never serializes its group.
+ * probe streams those columns in two phases: a vector hit loop
+ * that retires hits in bulk and appends every miss to a per-lane
+ * queue segment (MissEntry), and a drain that resolves the queued
+ * misses lane by lane so each lane's DMC/FVC columns stay
+ * register/L1-resident through the whole slow path. Only an
+ * occupancy sample due mid-block forces a lane back to the fully
+ * inline per-record walk, so one divergent lane never serializes
+ * its group.
  *
  * Validity and the dirty bit are encoded in the DMC tag word
  * itself: an invalid line holds kLaneInvalidTag, which no real tag
@@ -27,18 +31,21 @@
  * probed — the state a line access touches is exactly one 32-bit
  * word.
  *
- * Bit-identity: per-lane clocks, RNG streams, counters, and the
- * occupancy-sample double accumulation advance in exactly the
- * per-record order CountingDmcFvc uses, and lanes are mutually
- * independent within a block (the shared program-order image is
- * only advanced at block boundaries; in-block reads overlay the
- * block's store log, see BlockCtx). DESIGN.md section 13 gives the
- * full argument.
+ * Bit-identity: every miss (and every record aliasing a queued
+ * miss's set) drains in record order, so RNG streams, FVC clocks,
+ * counters, and the occupancy double accumulate exactly as
+ * CountingDmcFvc does; within a set, hit stamps and install stamps
+ * also keep record order, and stamps are only ever compared within
+ * one set. Lanes are mutually independent within a block (the
+ * shared program-order image is only advanced at block boundaries;
+ * in-block reads overlay the block's store log, see BlockCtx).
+ * DESIGN.md section 13 gives the full argument.
  */
 
 #ifndef FVC_SIM_LANE_STATE_HH_
 #define FVC_SIM_LANE_STATE_HH_
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -257,6 +264,60 @@ struct alignas(32) FvcEntry
     uint8_t dirty = 0;
 };
 
+/** Word index of @p addr within its line. */
+inline uint32_t
+fvcWordOffset(const Lane &lane, Addr addr)
+{
+    return (addr & (lane.line_bytes - 1)) / trace::kWordBytes;
+}
+
+/** Writeback accounting for an FVC entry leaving the cache (only
+ * the present words travel). */
+inline void
+writebackFvcMeta(Lane &lane, uint64_t present, bool dirty)
+{
+    if (!dirty)
+        return;
+    ++lane.fvc_stats.fvc_writebacks;
+    ++lane.stats.writebacks;
+    lane.stats.writeback_bytes +=
+        static_cast<uint64_t>(std::popcount(present)) *
+        trace::kWordBytes;
+}
+
+/**
+ * One deferred miss, appended by the phase-1 hit loop and resolved
+ * by the phase-2 drain (both in lane_kernel_impl.hh). 16 bytes so a
+ * lane's worst-case segment (kLaneBlockRecords entries) is 1 KiB —
+ * L1-resident for the whole drain. Entries live only between a
+ * block's phase 1 and its drain; nothing persists across blocks.
+ */
+struct MissEntry
+{
+    /** Line-column index of the record's set start (dmc_base +
+     * set * assoc), precomputed so the drain never re-derives it. */
+    uint32_t idx = 0;
+    /** DMC probe tag (dirty bit excluded). */
+    uint32_t tag = 0;
+    /** First entry index of the record's FVC set (FVC groups only;
+     * drain prefetches the 32-byte row one slot ahead). */
+    uint32_t fvc_e = 0;
+    /** Record index within the block (store-log overlay reads). */
+    uint8_t rec = 0;
+    /** kMissFrozen or 0. */
+    uint8_t flags = 0;
+    uint16_t pad = 0;
+};
+
+/**
+ * MissEntry flag: the phase-1 probe ran and missed while the lane's
+ * tags were frozen. The drain may skip the re-probe unless an
+ * earlier drained miss installed into the entry's set; entries
+ * queued without probing (set aliased an earlier queued miss) carry
+ * flags 0 and always re-probe.
+ */
+inline constexpr uint8_t kMissFrozen = 1;
+
 /**
  * A lane group: cells with compatible configs and the SoA columns
  * holding their line state. Columns are concatenated lane-major
@@ -289,6 +350,25 @@ struct LaneGroup
 
     // FVC entry column (one slot per entry, all lanes).
     std::vector<FvcEntry> fvc;
+
+    // Miss-queue arena: lane l's segment is the kLaneBlockRecords
+    // entries at [l * kLaneBlockRecords, ...), and miss_count[l]
+    // says how many phase 1 appended this block. Sized in
+    // finalize(); a segment can never overflow because each of a
+    // block's <= kLaneBlockRecords records queues at most once.
+    std::vector<MissEntry> miss_queue;
+    std::vector<uint32_t> miss_count;
+
+    // Exact queued/installed-set marks, one u32 per dmc_tags slot
+    // (indexed by the same set-start column index). A set is marked
+    // iff its slot equals the pass's epoch — a fresh value from
+    // epoch_counter per lane per phase — so marks from earlier
+    // blocks/lanes expire without any clearing. A wrapped counter
+    // aliasing an ancient mark merely queues (or re-probes) a
+    // record it did not need to, which the drain resolves to the
+    // same outcome.
+    std::vector<uint32_t> queue_epoch;
+    uint32_t epoch_counter = 0;
 };
 
 /**
@@ -317,16 +397,6 @@ class LaneGroupSet
     /** Account the end-of-run flush for every lane (DMC then FVC,
      * index order — the order CountingDmcFvc::flush uses). */
     void flush();
-
-    /**
-     * The full per-record protocol after a DMC probe miss; mirrors
-     * CountingDmcFvc::access (and TagOnlyCache::access for bare
-     * groups) from the miss point on. @p rec is the record's index
-     * within the block (for store-log overlay reads).
-     */
-    static void missPath(LaneGroup &g, Lane &lane,
-                         const BlockCtx &ctx, unsigned rec,
-                         Addr addr, bool is_store, bool frequent);
 
     /** One occupancy sample; mirrors
      * CountingDmcFvc::sampleOccupancy. */

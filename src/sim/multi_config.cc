@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "sim/kernel_stats.hh"
 #include "sim/lane_kernel.hh"
 #include "sim/simd_dispatch.hh"
 #include "util/logging.hh"
@@ -395,6 +396,17 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
     ctx.image = &shared_image_;
     ctx.freq_map = &freq_map;
 
+    // Encode-phase attribution (FVC_KERNEL_STATS=1): the mask/store
+    // -log build, the frequent-mask encode, and the end-of-block
+    // image advance are the per-block work outside the kernel's two
+    // phases.
+    const bool timing = laneKernelStatsEnabled();
+    const auto encode_add = [timing](uint64_t t0) {
+        if (timing)
+            laneKernelStats().encode_cycles.fetch_add(
+                kernelTimestamp() - t0, std::memory_order_relaxed);
+    };
+
     for (const TraceChunk &chunk : trace_.chunks()) {
         const size_t n = chunk.size();
         const Addr *addrs = chunk.addr.data();
@@ -402,6 +414,7 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
         const uint8_t *ops = chunk.op.data();
 
         for (size_t i0 = 0; i0 < n; i0 += kLaneBlockRecords) {
+            const uint64_t te0 = timing ? kernelTimestamp() : 0;
             const size_t span =
                 std::min(kLaneBlockRecords, n - i0);
             uint64_t amask = 0, smask = 0, filter = 0;
@@ -421,8 +434,10 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
                     ++ns;
                 }
             }
-            if (amask == 0)
+            if (amask == 0) {
+                encode_add(te0);
                 continue;
+            }
 
             ctx.addrs = addrs + i0;
             ctx.values = values + i0;
@@ -437,6 +452,7 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
                         encoding_groups_[e].encoder.frequentMask(
                             values + i0, span);
             }
+            encode_add(te0);
 
             for (LaneGroup &g : lanes.groups())
                 fn(g, ctx);
@@ -447,6 +463,8 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
             // frequent-bit mirror advances in lockstep; each
             // store's bits are already in the block masks.
             if (has_fvc) {
+                const uint64_t te1 =
+                    timing ? kernelTimestamp() : 0;
                 for (uint32_t j = 0; j < ns; ++j) {
                     uint8_t fbits = 0;
                     for (size_t e = 0; e < n_groups; ++e)
@@ -456,6 +474,7 @@ MultiConfigSimulator::runLane(ReplayKernel kernel)
                     shared_image_.write(store_addr[j],
                                         store_val[j]);
                 }
+                encode_add(te1);
             }
         }
     }

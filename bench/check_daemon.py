@@ -1,0 +1,332 @@
+#!/usr/bin/env python3
+"""Gate: daemon-served sweeps are byte-identical to in-process ones.
+
+Usage:
+    bench/check_daemon.py --build-dir BUILD [--accesses N]
+                          [--clients ...]
+    bench/check_daemon.py --self-test
+
+Runs the Figure 13 sweep with FVC_DAEMON=off (the in-process
+reference), then starts a private fvc_sweepd on its own socket and
+fresh result store and demands that every daemon-served run's stdout
+table and every exported CSV be byte-identical to the reference:
+
+  - cold: the daemon simulates and publishes every cell;
+  - warm: the daemon is restarted with FVC_RESULT_EXPECT_WARM=1, so
+    a single simulation dispatch aborts it — byte-identical output
+    here proves the whole sweep was served from the store without
+    touching the engine;
+  - concurrent: N fig13 clients run against one daemon at once, and
+    each client's output must still match the reference exactly.
+
+The daemon's whole contract is that serving through a socket is
+invisible in the output; any drift — a counter lost in the result
+frame codec, a batch coalescing reorder, a FAILED cell invented by
+the transport — fails this gate before it can land. FVC_DAEMON=on
+(not auto) for every daemon-served run, so an accidental in-process
+fallback fails loudly instead of passing vacuously.
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def gather_run(label, stdout_bytes, csv_dir):
+    """Bundle one run's observable output for comparison."""
+    csvs = {}
+    for name in sorted(os.listdir(csv_dir)):
+        if not name.endswith(".csv"):
+            continue
+        with open(os.path.join(csv_dir, name), "rb") as f:
+            csvs[name] = f.read()
+    return {"label": label, "stdout": stdout_bytes, "csvs": csvs}
+
+
+def compare_runs(reference, candidate):
+    """List of mismatch descriptions between two gathered runs."""
+    errors = []
+    ref_label = reference["label"]
+    cand_label = candidate["label"]
+    if reference["stdout"] != candidate["stdout"]:
+        errors.append(
+            f"{cand_label}: stdout differs from {ref_label} "
+            f"({len(reference['stdout'])} vs "
+            f"{len(candidate['stdout'])} bytes)"
+        )
+    ref_csvs = reference["csvs"]
+    cand_csvs = candidate["csvs"]
+    for name in sorted(set(ref_csvs) - set(cand_csvs)):
+        errors.append(f"{cand_label}: missing CSV {name}")
+    for name in sorted(set(cand_csvs) - set(ref_csvs)):
+        errors.append(f"{cand_label}: unexpected extra CSV {name}")
+    for name in sorted(set(ref_csvs) & set(cand_csvs)):
+        if ref_csvs[name] != cand_csvs[name]:
+            errors.append(
+                f"{cand_label}: CSV {name} differs from "
+                f"{ref_label}"
+            )
+    return errors
+
+
+def base_env(accesses):
+    """Environment shared by every run: all FVC knobs scrubbed."""
+    env = dict(os.environ)
+    for key in ("FVC_WORKERS", "FVC_FABRIC_DIR", "FVC_FAULT_SPEC",
+                "FVC_STRICT", "FVC_CSV_DIR", "FVC_JOBS",
+                "FVC_TRACE_DIR", "FVC_TRACE_STORE",
+                "FVC_TRACE_EXPECT_WARM", "FVC_RESULT_DIR",
+                "FVC_RESULT_CACHE", "FVC_RESULT_CACHE_MB",
+                "FVC_RESULT_EXPECT_WARM", "FVC_DAEMON",
+                "FVC_DAEMON_SOCK", "FVC_DAEMON_RETRIES",
+                "FVC_DAEMON_TIMEOUT_MS", "FVC_DAEMON_BATCH_MS"):
+        env.pop(key, None)
+    env["FVC_TRACE_ACCESSES"] = str(accesses)
+    return env
+
+
+class Daemon:
+    """A private fvc_sweepd on its own socket, torn down on exit."""
+
+    def __init__(self, binary, sock_path, result_dir,
+                 expect_warm=False):
+        self.sock_path = sock_path
+        env = base_env(0)
+        env.pop("FVC_TRACE_ACCESSES", None)
+        env["FVC_RESULT_DIR"] = result_dir
+        if expect_warm:
+            # The *daemon* carries the expectation: one simulation
+            # dispatch while serving aborts it mid-sweep, which the
+            # client surfaces as a failed run.
+            env["FVC_RESULT_EXPECT_WARM"] = "1"
+        self.proc = subprocess.Popen(
+            [binary, "--sock", sock_path, "--batch-ms", "5"],
+            env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE)
+
+    def wait_ready(self, timeout=10.0):
+        """Poll until the daemon accepts connections."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.proc.poll() is not None:
+                raise RuntimeError(
+                    "fvc_sweepd exited while starting: "
+                    + self.proc.stderr.read().decode(
+                        errors="replace"))
+            try:
+                probe = socket.socket(socket.AF_UNIX,
+                                      socket.SOCK_STREAM)
+                probe.settimeout(1.0)
+                probe.connect(self.sock_path)
+                probe.close()
+                return
+            except OSError:
+                time.sleep(0.05)
+        raise RuntimeError(
+            f"fvc_sweepd never listened on {self.sock_path}")
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+            try:
+                self.proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        # Surface daemon-side trouble in the gate log.
+        stderr = self.proc.stderr.read().decode(errors="replace")
+        if stderr:
+            sys.stderr.write(stderr)
+
+    def __enter__(self):
+        self.wait_ready()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+
+
+def run_fig13(binary, label, accesses, daemon_sock):
+    """Run one fig13 sweep; return its gathered output bundle.
+
+    `daemon_sock` of None runs in-process (FVC_DAEMON=off);
+    otherwise the run must be served by the daemon on that socket
+    (FVC_DAEMON=on: fallback is fatal, not silent).
+    """
+    env = base_env(accesses)
+    if daemon_sock is None:
+        env["FVC_DAEMON"] = "off"
+    else:
+        env["FVC_DAEMON"] = "on"
+        env["FVC_DAEMON_SOCK"] = daemon_sock
+    with tempfile.TemporaryDirectory(prefix="fvc-dmn-") as csv_dir:
+        env["FVC_CSV_DIR"] = csv_dir
+        proc = subprocess.run(
+            [binary], env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, timeout=300, check=False)
+        if proc.returncode != 0:
+            sys.stderr.write(proc.stderr.decode(errors="replace"))
+            raise RuntimeError(
+                f"{label}: fig13 exited {proc.returncode}")
+        return gather_run(label, proc.stdout, csv_dir)
+
+
+def run_fig13_concurrently(binary, label, accesses, daemon_sock,
+                           clients):
+    """Launch N fig13 clients at once; gather each one's bundle."""
+    procs = []
+    for i in range(clients):
+        env = base_env(accesses)
+        env["FVC_DAEMON"] = "on"
+        env["FVC_DAEMON_SOCK"] = daemon_sock
+        csv_dir = tempfile.mkdtemp(prefix=f"fvc-dmn-c{i}-")
+        env["FVC_CSV_DIR"] = csv_dir
+        procs.append((csv_dir, subprocess.Popen(
+            [binary], env=env, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE)))
+    bundles = []
+    try:
+        for i, (csv_dir, proc) in enumerate(procs):
+            out, err = proc.communicate(timeout=300)
+            if proc.returncode != 0:
+                sys.stderr.write(err.decode(errors="replace"))
+                raise RuntimeError(
+                    f"{label} client {i}: fig13 exited "
+                    f"{proc.returncode}")
+            bundles.append(
+                gather_run(f"{label} client {i}", out, csv_dir))
+    finally:
+        for csv_dir, proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+            for name in os.listdir(csv_dir):
+                os.unlink(os.path.join(csv_dir, name))
+            os.rmdir(csv_dir)
+    return bundles
+
+
+def self_test():
+    """Exercise the comparison logic on synthetic run bundles."""
+    ref = {"label": "daemon-off", "stdout": b"table\n",
+           "csvs": {"a.csv": b"1,2\n", "b.csv": b"3,4\n"}}
+
+    # 1. Byte-identical runs pass.
+    same = {"label": "daemon cold", "stdout": b"table\n",
+            "csvs": {"a.csv": b"1,2\n", "b.csv": b"3,4\n"}}
+    assert compare_runs(ref, same) == []
+
+    # 2. stdout drift is caught and names both runs.
+    drift = dict(same, stdout=b"table!\n")
+    errors = compare_runs(ref, drift)
+    assert len(errors) == 1 and "stdout" in errors[0], errors
+    assert "daemon cold" in errors[0] and "daemon-off" in errors[0]
+
+    # 3. A changed, a missing and an extra CSV are all caught.
+    changed = dict(same, csvs={"a.csv": b"1,9\n", "c.csv": b""})
+    errors = compare_runs(ref, changed)
+    assert len(errors) == 3, errors
+    assert any("a.csv differs" in e for e in errors), errors
+    assert any("missing CSV b.csv" in e for e in errors), errors
+    assert any("extra CSV c.csv" in e for e in errors), errors
+
+    print("check_daemon.py self-test: all checks passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir",
+                        help="CMake build dir holding bench/ and "
+                             "src/daemon/")
+    parser.add_argument("--accesses", type=int, default=20000,
+                        help="FVC_TRACE_ACCESSES per cell "
+                             "(default 20000: small but nonzero "
+                             "miss counts)")
+    parser.add_argument("--clients", type=int, default=4,
+                        help="concurrent fig13 clients against one "
+                             "daemon (default 4)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the built-in logic checks and "
+                             "exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.build_dir:
+        parser.error("--build-dir is required (or use --self-test)")
+
+    fig13 = os.path.join(args.build_dir, "bench", "fig13_dmc_vs_fvc")
+    sweepd = os.path.join(args.build_dir, "src", "daemon",
+                          "fvc_sweepd")
+    for binary in (fig13, sweepd):
+        if not os.path.exists(binary):
+            print(f"error: {binary} not found (build the bench "
+                  f"targets first)", file=sys.stderr)
+            return 1
+
+    reference = run_fig13(fig13, "daemon-off", args.accesses, None)
+    print(f"daemon-off reference: {len(reference['stdout'])} stdout "
+          f"bytes, {len(reference['csvs'])} CSVs")
+    if not reference["csvs"]:
+        print("error: reference run exported no CSVs; FVC_CSV_DIR "
+              "plumbing is broken", file=sys.stderr)
+        return 1
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="fvc-dmn-run-") as work:
+        sock = os.path.join(work, "sweepd.sock")
+        store = os.path.join(work, "results")
+        os.makedirs(store)
+
+        # Cold daemon: every cell simulated through the daemon and
+        # published to the fresh store.
+        with Daemon(sweepd, sock, store):
+            candidate = run_fig13(fig13, "daemon cold",
+                                  args.accesses, sock)
+            errors = compare_runs(reference, candidate)
+            print(f"  {'ok' if not errors else 'MISMATCH':<8} "
+                  f"daemon cold")
+            failures.extend(errors)
+
+            # Concurrent clients against the warm store: every
+            # client's output matches, and the daemon coalesces the
+            # identical grids instead of re-simulating.
+            label = f"daemon warm x{args.clients}"
+            bundles = run_fig13_concurrently(
+                fig13, label, args.accesses, sock, args.clients)
+            bad = 0
+            for bundle in bundles:
+                errors = compare_runs(reference, bundle)
+                bad += bool(errors)
+                failures.extend(errors)
+            print(f"  {'ok' if not bad else 'MISMATCH':<8} {label}")
+
+        # Warm daemon under FVC_RESULT_EXPECT_WARM: a restarted
+        # daemon that so much as dispatches one simulation aborts,
+        # so identical output proves the sweep was served entirely
+        # from the store.
+        with Daemon(sweepd, sock, store, expect_warm=True):
+            candidate = run_fig13(fig13, "daemon expect-warm",
+                                  args.accesses, sock)
+            errors = compare_runs(reference, candidate)
+            print(f"  {'ok' if not errors else 'MISMATCH':<8} "
+                  f"daemon expect-warm")
+            failures.extend(errors)
+
+    if failures:
+        print(f"\n{len(failures)} determinism failure(s):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"\ndaemon-served output byte-identical to in-process "
+          f"across cold/warm and {args.clients} concurrent clients")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -171,6 +171,37 @@ def check_store_states(base_state, new_state):
     )
 
 
+def load_daemon_state(path):
+    """The fvc_daemon context of a result file.
+
+    Files recorded before the context existed count as "off" (the
+    sweep daemon did not exist, so it cannot have served the run).
+    """
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("context", {}).get("fvc_daemon", "off")
+
+
+def check_daemon_states(base_state, new_state):
+    """Error string when two runs' daemon serving modes differ,
+    else None.
+
+    A daemon-served sweep pays socket framing and batching-window
+    latency and shares the daemon's result repository; an in-process
+    run pays neither. Diffing a daemon-served run against an
+    in-process one reports the transport as a perf change in every
+    sweep benchmark. Only like-for-like runs are comparable.
+    """
+    if base_state == new_state:
+        return None
+    return (
+        f"daemon serving-mode mismatch: baseline ran with "
+        f"fvc_daemon={base_state!r} but new ran with "
+        f"{new_state!r}; rerun both with the same FVC_DAEMON "
+        f"setting (and daemon availability)"
+    )
+
+
 def load_governor(path):
     """The fvc_cpu_governor context of a result file.
 
@@ -361,6 +392,14 @@ def self_test():
     assert check_result_cache_states("warm", "warm") is None
     assert check_result_cache_states("off", "off") is None
 
+    # 9b. Mismatched daemon serving modes refuse the comparison;
+    #     matching modes (including both predating the context) are
+    #     fine.
+    assert check_daemon_states("on", "off") is not None
+    assert check_daemon_states("off", "on") is not None
+    assert check_daemon_states("on", "on") is None
+    assert check_daemon_states("off", "off") is None
+
     # 10. Governor mismatch warns only when both sides are known;
     #     an unknown side (pre-context file, host without cpufreq)
     #     never warns, and never refuses anything.
@@ -431,6 +470,11 @@ def main(argv):
     mismatch = check_result_cache_states(
         load_result_cache_state(args.baseline),
         load_result_cache_state(args.new))
+    if mismatch:
+        print(f"error: {mismatch}", file=sys.stderr)
+        return 1
+    mismatch = check_daemon_states(load_daemon_state(args.baseline),
+                                   load_daemon_state(args.new))
     if mismatch:
         print(f"error: {mismatch}", file=sys.stderr)
         return 1

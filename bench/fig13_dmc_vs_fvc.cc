@@ -6,22 +6,25 @@
  * words and 1/3/7 exploited values. This bench regenerates every
  * row of that figure and prints the paper's value beside ours.
  *
- * All cells go through resultcache::runCells: the doubled-DMC
- * baseline of each (benchmark, geometry) row is simulated once and
- * reused across the three value-count sections, warm fingerprints
- * are served from the persistent result store without touching the
- * engine, and novel cells dispatch to the fabric / single-pass /
- * per-cell backends. Traces come from the shared TraceRepository.
+ * All cells go through daemon::runCells: with FVC_DAEMON=off (or no
+ * daemon reachable in the default auto mode) that is exactly
+ * resultcache::runCells — the doubled-DMC baseline of each
+ * (benchmark, geometry) row is simulated once and reused across the
+ * three value-count sections, warm fingerprints are served from the
+ * persistent result store without touching the engine, and novel
+ * cells dispatch to the fabric / single-pass / per-cell backends.
+ * With a running fvc_sweepd the same cells are served through the
+ * daemon's shared repository instead, byte-identically.
  */
 
 #include <cstdio>
 
 #include "core/size_model.hh"
+#include "daemon/client.hh"
 #include "fabric/cell.hh"
 #include "harness/paper_data.hh"
 #include "harness/report.hh"
 #include "harness/runner.hh"
-#include "resultcache/repository.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 
@@ -94,8 +97,7 @@ main()
             }
         }
     }
-    auto results =
-        resultcache::runCells(specs, "Figure 13 sweep");
+    auto results = daemon::runCells(specs, "Figure 13 sweep");
 
     std::vector<std::optional<double>> doubled_rates;
     std::vector<std::optional<double>> fvc_rates;

@@ -14,6 +14,7 @@
 
 #include "cache/cache_system.hh"
 #include "core/dmc_fvc_system.hh"
+#include "daemon/client.hh"
 #include "fabric/fabric.hh"
 #include "harness/runner.hh"
 #include "harness/trace_repo.hh"
@@ -627,6 +628,23 @@ benchGovernor()
     return "unknown";
 }
 
+// "on" when this run's sweep cells go through fvc_sweepd: either
+// FVC_DAEMON=on, or the default auto mode with a daemon actually
+// answering the socket right now (one quick probe, same as
+// daemon::runCells would make).
+std::string
+benchDaemonState()
+{
+    const auto mode = fvc::daemon::daemonMode();
+    if (mode == fvc::daemon::DaemonMode::Off)
+        return "off";
+    if (mode == fvc::daemon::DaemonMode::On)
+        return "on";
+    fvc::daemon::Client::Options probe;
+    probe.retries = 1;
+    return fvc::daemon::Client::connect(probe).ok() ? "on" : "off";
+}
+
 } // namespace
 
 // Custom main so the JSON context records whether *our* code was
@@ -672,6 +690,12 @@ main(int argc, char **argv)
         "fvc_workers", fabric_workers
                            ? std::to_string(*fabric_workers)
                            : std::string("serial"));
+    // Whether sweep cells are served by a running fvc_sweepd ("on")
+    // or in-process ("off"). A daemon-served sweep pays socket
+    // round-trips instead of simulation, so compare_bench.py
+    // refuses to diff runs recorded under different serving modes.
+    benchmark::AddCustomContext("fvc_daemon",
+                                benchDaemonState());
     // Host identity: sweep timings only compare within one CPU
     // model, and a non-"performance" governor lets the clock drift
     // mid-run. compare_bench.py warns when the governors of the two

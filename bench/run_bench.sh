@@ -35,6 +35,12 @@ fi
 cmake --build "$build_dir" --target microbench \
     -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
 
+# Keep an optimized fvc_sweepd alongside the bench binaries: a
+# daemon-served recording (FVC_DAEMON=on against a Release daemon)
+# must never mix a Debug daemon into Release numbers.
+cmake --build "$build_dir" --target fvc_sweepd \
+    -j "$(nproc 2>/dev/null || echo 2)" >/dev/null
+
 bin="$build_dir/bench/microbench"
 if [ ! -x "$bin" ]; then
     echo "error: $bin not built (cmake --build $build_dir)" >&2
@@ -85,13 +91,17 @@ fi
 mv "$tmp" "$out"
 trap - EXIT
 
-# Surface the recorded trace-store state and replay-kernel ISA:
-# comparisons are only valid between runs with the same state and
-# the same ISA (compare_bench.py enforces both).
+# Surface the recorded trace-store state, replay-kernel ISA and
+# daemon serving mode: comparisons are only valid between runs with
+# the same state, ISA and serving mode (compare_bench.py enforces
+# all three).
 store_state=$(sed -n \
     's/.*"fvc_trace_store": "\([a-z]*\)".*/\1/p' "$out" | head -n1)
 simd_isa=$(sed -n \
     's/.*"fvc_simd_isa": "\([a-z0-9]*\)".*/\1/p' "$out" | head -n1)
+daemon_state=$(sed -n \
+    's/.*"fvc_daemon": "\([a-z]*\)".*/\1/p' "$out" | head -n1)
 echo "wrote $out (fvc_trace_store: ${store_state:-unknown}," \
-     "fvc_simd_isa: ${simd_isa:-unknown})"
+     "fvc_simd_isa: ${simd_isa:-unknown}," \
+     "fvc_daemon: ${daemon_state:-unknown})"
 echo "host: ${FVC_BENCH_CPU_MODEL} (governor: ${FVC_BENCH_GOVERNOR})"

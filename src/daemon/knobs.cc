@@ -1,0 +1,90 @@
+#include "daemon/knobs.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fvc::daemon {
+
+DaemonMode
+daemonMode()
+{
+    if (const char *env = std::getenv("FVC_DAEMON")) {
+        if (std::strcmp(env, "auto") == 0)
+            return DaemonMode::Auto;
+        if (std::strcmp(env, "on") == 0)
+            return DaemonMode::On;
+        if (std::strcmp(env, "off") == 0)
+            return DaemonMode::Off;
+        fvc_warn("ignoring bad FVC_DAEMON value: ", env,
+                 " (want auto, on, or off)");
+    }
+    return DaemonMode::Auto;
+}
+
+const char *
+daemonModeName(DaemonMode mode)
+{
+    switch (mode) {
+      case DaemonMode::Auto: return "auto";
+      case DaemonMode::On: return "on";
+      case DaemonMode::Off: return "off";
+    }
+    fvc_panic("unreachable daemon mode");
+}
+
+std::string
+socketPath()
+{
+    if (const char *env = std::getenv("FVC_DAEMON_SOCK");
+        env && *env)
+        return env;
+    const char *tmp = std::getenv("TMPDIR");
+    std::string dir = (tmp && *tmp) ? tmp : "/tmp";
+    if (!dir.empty() && dir.back() == '/')
+        dir.pop_back();
+    return dir + "/fvc_sweepd-" + std::to_string(::getuid()) +
+           ".sock";
+}
+
+unsigned
+daemonRetries()
+{
+    if (const char *env = std::getenv("FVC_DAEMON_RETRIES")) {
+        auto v = util::parseUint(env);
+        if (v)
+            return static_cast<unsigned>(*v);
+        fvc_warn("ignoring bad FVC_DAEMON_RETRIES value: ", env);
+    }
+    return 3;
+}
+
+uint64_t
+daemonTimeoutMs()
+{
+    if (const char *env = std::getenv("FVC_DAEMON_TIMEOUT_MS")) {
+        auto v = util::parseUint(env);
+        if (v && *v > 0)
+            return *v;
+        fvc_warn("ignoring bad FVC_DAEMON_TIMEOUT_MS value: ", env);
+    }
+    return 2000;
+}
+
+uint64_t
+daemonBatchMs()
+{
+    if (const char *env = std::getenv("FVC_DAEMON_BATCH_MS")) {
+        auto v = util::parseUint(env);
+        if (v)
+            return *v;
+        fvc_warn("ignoring bad FVC_DAEMON_BATCH_MS value: ", env);
+    }
+    return 5;
+}
+
+} // namespace fvc::daemon

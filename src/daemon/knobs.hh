@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Environment knobs shared by the sweep daemon and its clients.
+ * All integers are strict-parsed with util::parseUint (PR 1
+ * convention: a malformed value warns and falls back to the
+ * default, it never half-parses).
+ *
+ *  - FVC_DAEMON: "auto" (default — serve through a daemon when one
+ *    answers on the socket, silently fall back to in-process
+ *    otherwise), "on" (a reachable daemon is mandatory; fatal when
+ *    connect+retries fail), "off" (always in-process).
+ *  - FVC_DAEMON_SOCK: Unix-domain socket path (default
+ *    "<tmpdir>/fvc_sweepd-<uid>.sock", per-user so two users on one
+ *    host never collide).
+ *  - FVC_DAEMON_RETRIES: connect/reconnect attempts (default 3).
+ *  - FVC_DAEMON_TIMEOUT_MS: per-attempt connect/control-reply
+ *    timeout and inter-retry backoff ceiling (default 2000).
+ *  - FVC_DAEMON_BATCH_MS: server-side batching window (default 5):
+ *    after the first SubmitCells of a batch arrives the daemon
+ *    keeps accepting concurrent submissions this long, so
+ *    overlapping grids from different clients coalesce into one
+ *    engine dispatch.
+ */
+
+#ifndef FVC_DAEMON_KNOBS_HH_
+#define FVC_DAEMON_KNOBS_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace fvc::daemon {
+
+/** Client dispatch mode, from FVC_DAEMON. */
+enum class DaemonMode {
+    Auto,
+    On,
+    Off,
+};
+
+/** FVC_DAEMON (env read per call; tests toggle it). */
+DaemonMode daemonMode();
+
+/** The mode's canonical name ("auto"/"on"/"off"). */
+const char *daemonModeName(DaemonMode mode);
+
+/** FVC_DAEMON_SOCK, or the per-user default path. */
+std::string socketPath();
+
+/** FVC_DAEMON_RETRIES (default 3). */
+unsigned daemonRetries();
+
+/** FVC_DAEMON_TIMEOUT_MS (default 2000). */
+uint64_t daemonTimeoutMs();
+
+/** FVC_DAEMON_BATCH_MS (default 5). */
+uint64_t daemonBatchMs();
+
+} // namespace fvc::daemon
+
+#endif // FVC_DAEMON_KNOBS_HH_
